@@ -1,0 +1,122 @@
+// snp-bench regenerates the paper's evaluation figures as text tables.
+//
+// Usage:
+//
+//	snp-bench                  # all figures at the default scale
+//	snp-bench -fig 5           # one figure
+//	snp-bench -scale 0.2       # larger (slower, closer to the paper) runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/eval"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all")
+	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed}
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if run("5") || run("6") || run("7") {
+		costs, err := eval.MeasureCryptoCosts(cryptoutil.Ed25519SHA256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== Figures 5 (traffic), 6 (log growth), 7 (CPU) — five configurations ==")
+		for _, cfgName := range eval.AllConfigs {
+			res, err := eval.Run(cfgName, o)
+			if err != nil {
+				log.Fatalf("%s: %v", cfgName, err)
+			}
+			if run("5") {
+				fmt.Println("  fig5:", eval.Figure5(res))
+			}
+			if run("6") {
+				fmt.Println("  fig6:", eval.Figure6(res))
+			}
+			if run("7") {
+				fmt.Println("  fig7:", eval.Figure7(res, costs))
+			}
+		}
+		fmt.Println()
+	}
+
+	if run("8") || run("4") {
+		fmt.Println("== Figure 8: query turnaround and downloads (and the Figure 4 query) ==")
+		quagga, err := eval.Run(eval.Quagga, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if row, err := eval.QuaggaDisappearQuery(quagga); err == nil {
+			fmt.Println(" ", row)
+		} else {
+			fmt.Fprintln(os.Stderr, "  Quagga-Disappear:", err)
+		}
+		if row, err := eval.QuaggaBadGadgetQuery(quagga); err == nil {
+			fmt.Println(" ", row)
+		} else {
+			fmt.Fprintln(os.Stderr, "  Quagga-BadGadget:", err)
+		}
+		for _, cfgName := range []eval.ConfigName{eval.ChordSmall, eval.ChordLarge} {
+			res, err := eval.Run(cfgName, o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if row, err := eval.ChordLookupQuery(res); err == nil {
+				fmt.Println(" ", row)
+			} else {
+				fmt.Fprintln(os.Stderr, "  Chord-Lookup:", err)
+			}
+		}
+		hadoop, err := eval.Run(eval.HadoopSmall, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if row, err := eval.HadoopSquirrelQuery(hadoop); err == nil {
+			fmt.Println(" ", row)
+		} else {
+			fmt.Fprintln(os.Stderr, "  Hadoop-Squirrel:", err)
+		}
+		fmt.Println()
+	}
+
+	if run("9") {
+		fmt.Println("== Figure 9: Chord scalability ==")
+		sizes := []int{10, 50, 100, 250}
+		if *scale >= 0.5 {
+			sizes = append(sizes, 500)
+		}
+		rows, err := eval.Figure9(sizes, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		fmt.Println()
+	}
+
+	if run("batching") {
+		fmt.Println("== §5.6 batching ablation (Quagga) ==")
+		without, with, err := eval.BatchingAblation(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  without:", without)
+		fmt.Println("  with:   ", with)
+		if with.Signs > 0 {
+			fmt.Printf("  signature reduction: %.1fx; envelope reduction: %.0f%%\n",
+				float64(without.Signs)/float64(with.Signs),
+				100*(1-float64(with.Envelopes)/float64(without.Envelopes)))
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package repro is a from-scratch Go reproduction of "Secure Network
+// Provenance" (Zhou et al., SOSP 2011). See README.md for the layout; the
+// root package holds the benchmark harness that regenerates the paper's
+// evaluation figures (bench_test.go).
+package repro

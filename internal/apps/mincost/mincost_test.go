@@ -1,0 +1,49 @@
+package mincost
+
+import "testing"
+
+func TestNodesOf(t *testing.T) {
+	nodes := NodesOf(Figure2Topology)
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i, n := range nodes {
+		if string(n) != want[i] {
+			t.Errorf("nodes[%d] = %s, want %s", i, n, want[i])
+		}
+	}
+}
+
+func TestFigure2TopologyCosts(t *testing.T) {
+	// The three links Figure 2's example depends on.
+	want := map[[2]string]int64{
+		{"b", "c"}: 2,
+		{"b", "d"}: 3,
+		{"c", "d"}: 5,
+	}
+	for _, e := range Figure2Topology {
+		if k, ok := want[[2]string{string(e.A), string(e.B)}]; ok && e.Cost != k {
+			t.Errorf("link %s-%s cost %d, want %d", e.A, e.B, e.Cost, k)
+		}
+	}
+}
+
+func TestProgramCompiles(t *testing.T) {
+	p := Program()
+	if got := len(p.Rules()); got != 3 {
+		t.Errorf("rules = %d, want 3 (R1, R2, R3)", got)
+	}
+}
+
+func TestTupleBuilders(t *testing.T) {
+	if Link("a", "b", 1).Key() != "link(@a,@b,1)" {
+		t.Error("Link key")
+	}
+	if Cost("a", "b", "c", 2).Key() != "cost(@a,@b,@c,2)" {
+		t.Error("Cost key")
+	}
+	if BestCost("a", "b", 3).Key() != "bestCost(@a,@b,3)" {
+		t.Error("BestCost key")
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the SNooPy node (§5): the graph recorder (the
+// tamper-evident log plus the commitment protocol of §5.4), the microquery
+// module (§5.5: retrieve, verify, deterministic replay, consistency check),
+// and the query processor (§5.1: macroqueries with scope k over the
+// provenance graph). It is the paper's primary contribution assembled from
+// the substrate packages.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+)
+
+// Config carries the SNooPy deployment parameters of §5.2 and §5.6.
+type Config struct {
+	// Tprop is the maximum benign message propagation delay (assumption 4).
+	Tprop types.Time
+	// DeltaClock is the maximum clock skew between nodes (assumption 5).
+	DeltaClock types.Time
+	// Tbatch is the message-batching window (§5.6); zero disables batching
+	// and every message travels in its own envelope.
+	Tbatch types.Time
+	// CheckpointEvery is the interval between checkpoints; zero disables
+	// checkpointing (replay then always starts from the beginning).
+	CheckpointEvery types.Time
+	// Suite selects the crypto suite; nil means cryptoutil.Ed25519SHA256.
+	Suite cryptoutil.Suite
+}
+
+func (c Config) suite() cryptoutil.Suite {
+	if c.Suite == nil {
+		return cryptoutil.Ed25519SHA256
+	}
+	return c.Suite
+}
+
+// DefaultConfig mirrors the paper's evaluation setup: second-scale Tprop
+// and skew, no batching, checkpoints every minute.
+func DefaultConfig() Config {
+	return Config{
+		Tprop:           2 * types.Second,
+		DeltaClock:      2 * types.Second,
+		Tbatch:          0,
+		CheckpointEvery: types.Minute,
+		Suite:           cryptoutil.Ed25519SHA256,
+	}
+}
+
+// Clock supplies a node's local time (assumption 5: per-node clocks with
+// bounded skew).
+type Clock interface {
+	Now() types.Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() types.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() types.Time { return f() }
+
+// Directory maps node identities to their public keys; it stands in for the
+// paper's offline CA (assumption 2).
+type Directory struct {
+	mu   sync.RWMutex
+	keys map[types.NodeID]cryptoutil.PublicKey
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{keys: make(map[types.NodeID]cryptoutil.PublicKey)}
+}
+
+// Register binds a node to a public key.
+func (d *Directory) Register(id types.NodeID, key cryptoutil.PublicKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keys[id] = key
+}
+
+// Key returns the public key of a node.
+func (d *Directory) Key(id types.NodeID) (cryptoutil.PublicKey, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no certificate for node %s", id)
+	}
+	return k, nil
+}
+
+// Nodes returns all registered node IDs (unsorted).
+func (d *Directory) Nodes() []types.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]types.NodeID, 0, len(d.keys))
+	for id := range d.keys {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Maintainer collects missing-acknowledgment notifications (§5.4): a
+// correct node that does not receive an ack within 2·Tprop immediately
+// reports it, which prevents the missing ack from being misattributed
+// during later audits.
+type Maintainer struct {
+	mu    sync.Mutex
+	notes map[noteKey]bool
+}
+
+type noteKey struct {
+	reporter types.NodeID
+	id       types.MessageID
+}
+
+// NewMaintainer returns an empty maintainer registry.
+func NewMaintainer() *Maintainer { return &Maintainer{notes: make(map[noteKey]bool)} }
+
+// NotifyMissingAck records that reporter never received an ack for id.
+func (m *Maintainer) NotifyMissingAck(reporter types.NodeID, id types.MessageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.notes[noteKey{reporter, id}] = true
+}
+
+// WasNotified reports whether a missing ack was reported for (reporter, id).
+func (m *Maintainer) WasNotified(reporter types.NodeID, id types.MessageID) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.notes[noteKey{reporter, id}]
+}
+
+// Count returns the number of recorded notifications.
+func (m *Maintainer) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.notes)
+}
+
+// ExtantsOf extracts checkpointable state from a machine, converting to
+// seclog items. Machines that do not implement types.StateDumper yield an
+// empty item list (their snapshot alone must suffice for replay).
+func ExtantsOf(m types.Machine) []seclog.ExtantItem {
+	d, ok := m.(types.StateDumper)
+	if !ok {
+		return nil
+	}
+	ext := d.DumpExtants()
+	items := make([]seclog.ExtantItem, len(ext))
+	for i, e := range ext {
+		it := seclog.ExtantItem{Tuple: e.Tuple, Appeared: e.Appeared, Local: e.Local}
+		for _, b := range e.Believed {
+			it.Believed = append(it.Believed, seclog.BelievedRecord{Origin: b.Origin, Since: b.Since})
+		}
+		items[i] = it
+	}
+	return items
+}

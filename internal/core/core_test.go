@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	key, err := cryptoutil.Ed25519SHA256.GenerateKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Register("n1", key.Public())
+	if _, err := d.Key("n1"); err != nil {
+		t.Errorf("registered key not found: %v", err)
+	}
+	if _, err := d.Key("nope"); err == nil {
+		t.Error("unknown node resolved")
+	}
+	if len(d.Nodes()) != 1 {
+		t.Errorf("Nodes = %v", d.Nodes())
+	}
+}
+
+func TestMaintainer(t *testing.T) {
+	m := NewMaintainer()
+	id := types.MessageID{Src: "a", Dst: "b", Seq: 1}
+	if m.WasNotified("a", id) {
+		t.Error("fresh maintainer has notifications")
+	}
+	m.NotifyMissingAck("a", id)
+	if !m.WasNotified("a", id) {
+		t.Error("notification lost")
+	}
+	if m.WasNotified("b", id) {
+		t.Error("notification leaked to another reporter")
+	}
+	if m.Count() != 1 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	var nilM *Maintainer
+	if nilM.WasNotified("a", id) {
+		t.Error("nil maintainer reported a notification")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := Envelope{
+		Msgs: []types.Message{{
+			Src: "a", Dst: "b", Pol: types.PolAppear,
+			Tuple: types.MakeTuple("x", types.N("b"), types.I(1)), SendTime: 5, Seq: 1,
+		}},
+		PrevHash: []byte{1, 2, 3},
+		T:        5,
+		Sig:      []byte{9, 9},
+		Seq:      7,
+	}
+	var got Envelope
+	if err := wire.Decode(wire.Encode(env), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.T != 5 || len(got.Msgs) != 1 || !got.Msgs[0].Tuple.Equal(env.Msgs[0].Tuple) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if env.PayloadSize() <= 0 || env.PayloadSize() >= wire.Size(env) {
+		t.Errorf("payload size %d vs full %d", env.PayloadSize(), wire.Size(env))
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	ack := Ack{
+		IDs:      []types.MessageID{{Src: "a", Dst: "b", Seq: 1}, {Src: "a", Dst: "b", Seq: 2}},
+		PrevHash: []byte{4},
+		T:        6,
+		Sig:      []byte{5},
+		Seq:      9,
+	}
+	var got Ack
+	if err := wire.Decode(wire.Encode(ack), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 2 || got.IDs[1].Seq != 2 || got.Seq != 9 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	if cfg.suite() == nil {
+		t.Error("nil suite not defaulted")
+	}
+	d := DefaultConfig()
+	if d.Tprop <= 0 || d.DeltaClock <= 0 || d.CheckpointEvery <= 0 {
+		t.Errorf("DefaultConfig = %+v", d)
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+)
+
+// Node is one SNooPy participant: the primary system's state machine plus
+// the graph recorder (§5.4). The node logs every input before acting on it,
+// runs the commitment protocol for every message exchange, and periodically
+// writes checkpoints. It deliberately does *not* maintain the provenance
+// graph at runtime (§5.9): the log records just enough to reconstruct the
+// node's subgraph on demand.
+//
+// Nodes are single-threaded: the harness (simulated network or transport
+// loop) must serialize calls into a node.
+type Node struct {
+	ID      types.NodeID
+	Machine types.Machine
+	Log     *seclog.Log
+	Auths   *seclog.AuthSet
+	Stats   *cryptoutil.Stats
+
+	cfg        Config
+	suite      cryptoutil.Suite
+	key        cryptoutil.PrivateKey
+	dir        *Directory
+	maintainer *Maintainer
+	clock      Clock
+	net        Sender
+
+	outQ       map[types.NodeID][]types.Message
+	queueSince map[types.NodeID]types.Time
+
+	outstanding map[types.MessageID]*pendingEnvelope
+	lastEntryT  types.Time
+	lastCkpt    types.Time
+
+	// Fault-injection hooks; nil on correct nodes. Tamper rewrites the
+	// machine's outputs before they are logged and sent (a compromised
+	// primary system); DropSend suppresses matching messages entirely
+	// (passive evasion); RefuseAudit makes the node ignore retrieve
+	// requests (yields yellow vertices).
+	Tamper      func(ev types.Event, outs []types.Output) []types.Output
+	DropSend    func(m types.Message) bool
+	RefuseAudit bool
+
+	// DropCount counts messages suppressed via DropSend.
+	DropCount int
+}
+
+type pendingEnvelope struct {
+	dst      types.NodeID
+	env      *Envelope
+	prevHash []byte // h_{x−1} (also in env, kept for clarity)
+	sent     types.Time
+	retried  bool
+	notified bool
+}
+
+// NewNode assembles a node. net may be nil for single-node tests (sends are
+// then dropped).
+func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Directory,
+	maint *Maintainer, clock Clock, net Sender, machine types.Machine) *Node {
+	stats := new(cryptoutil.Stats)
+	return &Node{
+		ID:          id,
+		Machine:     machine,
+		Log:         seclog.New(id, cfg.suite(), key, stats),
+		Auths:       seclog.NewAuthSet(),
+		Stats:       stats,
+		cfg:         cfg,
+		suite:       cfg.suite(),
+		key:         key,
+		dir:         dir,
+		maintainer:  maint,
+		clock:       clock,
+		net:         net,
+		outQ:        make(map[types.NodeID][]types.Message),
+		queueSince:  make(map[types.NodeID]types.Time),
+		outstanding: make(map[types.MessageID]*pendingEnvelope),
+	}
+}
+
+// now returns the node's clock, forced monotonic so log entry timestamps
+// never decrease.
+func (n *Node) now() types.Time {
+	t := n.clock.Now()
+	if t < n.lastEntryT {
+		t = n.lastEntryT
+	}
+	n.lastEntryT = t
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Primary-system inputs.
+
+// InsertBase inserts a base tuple (logged as ins, then fed to the machine).
+func (n *Node) InsertBase(tup types.Tuple) {
+	t := n.now()
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: tup})
+	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
+}
+
+// DeleteBase removes a base tuple.
+func (n *Node) DeleteBase(tup types.Tuple) {
+	t := n.now()
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: tup})
+	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup})
+}
+
+// InsertEvent injects a transient event tuple (e.g. a timer tick): an ins
+// immediately followed by a del, so the provenance graph records the
+// appearance and disappearance at the same instant.
+func (n *Node) InsertEvent(tup types.Tuple) {
+	t := n.now()
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: tup})
+	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: tup})
+	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup})
+}
+
+// InsertMaybe fires a 'maybe' rule (§3.4): the node chooses to derive head
+// from body. replaces optionally names tuples whose simultaneous removal
+// causally precedes the insertion (§3.4 constraints); they are deleted
+// first, attributed to the same rule.
+func (n *Node) InsertMaybe(rule string, head types.Tuple, body []types.Tuple, replaces []types.Tuple) {
+	t := n.now()
+	for _, old := range replaces {
+		n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: old,
+			MaybeRule: rule, MaybeBody: body})
+		n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: old,
+			MaybeRule: rule, MaybeBody: body})
+	}
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: head,
+		MaybeRule: rule, MaybeBody: body, Replaces: replaces})
+	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: head,
+		MaybeRule: rule, MaybeBody: body, Replaces: replaces})
+}
+
+// DeleteMaybe withdraws a maybe-derived tuple, attributing the deletion to
+// rule with the given body.
+func (n *Node) DeleteMaybe(rule string, head types.Tuple, body []types.Tuple) {
+	t := n.now()
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: head,
+		MaybeRule: rule, MaybeBody: body})
+	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: head,
+		MaybeRule: rule, MaybeBody: body})
+}
+
+// step feeds one event to the machine and processes its outputs.
+func (n *Node) step(ev types.Event) {
+	outs := n.Machine.Step(ev)
+	if n.Tamper != nil {
+		outs = n.Tamper(ev, outs)
+	}
+	for _, o := range outs {
+		if o.Kind != types.OutSend {
+			continue // derivations are reconstructed at query time
+		}
+		m := *o.Msg
+		if n.DropSend != nil && n.DropSend(m) {
+			n.DropCount++
+			continue
+		}
+		n.outQ[m.Dst] = append(n.outQ[m.Dst], m)
+		if _, ok := n.queueSince[m.Dst]; !ok {
+			n.queueSince[m.Dst] = ev.Time
+		}
+	}
+	if n.cfg.Tbatch == 0 {
+		n.flushAll()
+	}
+}
+
+// flushAll transmits every queued envelope.
+func (n *Node) flushAll() {
+	dsts := make([]string, 0, len(n.outQ))
+	for d := range n.outQ {
+		dsts = append(dsts, string(d))
+	}
+	sort.Strings(dsts)
+	for _, d := range dsts {
+		n.flush(types.NodeID(d))
+	}
+}
+
+// flush sends one envelope carrying all messages queued for dst: one snd
+// log entry, one signature, one eventual ack (§5.4, §5.6).
+func (n *Node) flush(dst types.NodeID) {
+	msgs := n.outQ[dst]
+	if len(msgs) == 0 {
+		return
+	}
+	delete(n.outQ, dst)
+	delete(n.queueSince, dst)
+	t := n.now()
+	prev := append([]byte(nil), n.Log.HeadHash()...)
+	seq := n.Log.Append(&seclog.Entry{T: t, Type: seclog.ESnd, Msgs: msgs})
+	sig, err := n.Log.Sign(t, n.Log.HeadHash())
+	if err != nil {
+		panic(fmt.Sprintf("core: signing failed on %s: %v", n.ID, err))
+	}
+	env := &Envelope{Msgs: msgs, PrevHash: prev, T: t, Sig: sig, Seq: seq}
+	n.outstanding[msgs[0].ID()] = &pendingEnvelope{dst: dst, env: env, prevHash: prev, sent: t}
+	if n.net != nil {
+		n.net.Send(n.ID, dst, &Packet{Kind: PktEnvelope, Envelope: env})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commitment protocol, receive side.
+
+// HandlePacket dispatches one transport packet.
+func (n *Node) HandlePacket(from types.NodeID, pkt *Packet) error {
+	switch pkt.Kind {
+	case PktEnvelope:
+		return n.handleEnvelope(from, pkt.Envelope)
+	case PktAck:
+		return n.handleAck(from, pkt.Ack)
+	default:
+		return fmt.Errorf("core: unknown packet kind %d", pkt.Kind)
+	}
+}
+
+func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
+	if len(env.Msgs) == 0 {
+		return fmt.Errorf("core: empty envelope from %s", from)
+	}
+	pub, err := n.dir.Key(from)
+	if err != nil {
+		return err
+	}
+	// Reconstruct the sender's snd entry and verify the commitment: the
+	// signature must cover h_x = H(h_{x−1} ‖ t_x ‖ snd ‖ (msgs)).
+	sndEntry := &seclog.Entry{T: env.T, Type: seclog.ESnd, Msgs: env.Msgs}
+	hx := seclog.ChainHash(n.suite, n.Stats, env.PrevHash, sndEntry)
+	if !seclog.VerifyCommitment(n.Stats, pub, env.T, hx, env.Sig) {
+		return fmt.Errorf("core: bad envelope signature from %s", from)
+	}
+	t := n.now()
+	if skew := env.T - t; skew > n.cfg.DeltaClock+n.cfg.Tprop || -skew > n.cfg.DeltaClock+n.cfg.Tprop {
+		return fmt.Errorf("core: envelope timestamp from %s outside Δclock+Tprop", from)
+	}
+	for i := range env.Msgs {
+		if env.Msgs[i].Src != from || env.Msgs[i].Dst != n.ID {
+			return fmt.Errorf("core: envelope from %s carries foreign message %s", from, env.Msgs[i])
+		}
+	}
+	n.Auths.Add(seclog.Authenticator{Node: from, Seq: env.Seq, T: env.T, Hash: hx, Sig: env.Sig})
+
+	hyPrev := append([]byte(nil), n.Log.HeadHash()...)
+	y := n.Log.Append(&seclog.Entry{T: t, Type: seclog.ERcv, Msgs: env.Msgs,
+		PeerPrevHash: env.PrevHash, PeerTime: env.T, PeerSig: env.Sig, PeerSeq: env.Seq})
+	sig, err := n.Log.Sign(t, n.Log.HeadHash())
+	if err != nil {
+		return err
+	}
+	ids := make([]types.MessageID, len(env.Msgs))
+	for i := range env.Msgs {
+		ids[i] = env.Msgs[i].ID()
+	}
+	if n.net != nil {
+		n.net.Send(n.ID, from, &Packet{Kind: PktAck, Ack: &Ack{
+			IDs: ids, PrevHash: hyPrev, T: t, Sig: sig, Seq: y,
+		}})
+	}
+	// Feed the messages to the machine, in envelope order.
+	for i := range env.Msgs {
+		msg := env.Msgs[i]
+		n.step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: t, Msg: &msg})
+	}
+	return nil
+}
+
+func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
+	if len(ack.IDs) == 0 {
+		return fmt.Errorf("core: empty ack from %s", from)
+	}
+	pend, ok := n.outstanding[ack.IDs[0]]
+	if !ok || pend.dst != from {
+		return fmt.Errorf("core: unexpected ack from %s", from)
+	}
+	pub, err := n.dir.Key(from)
+	if err != nil {
+		return err
+	}
+	// Reconstruct the receiver's rcv entry and verify σ_j(t_y ‖ h_y).
+	rcvEntry := &seclog.Entry{T: ack.T, Type: seclog.ERcv, Msgs: pend.env.Msgs,
+		PeerPrevHash: pend.env.PrevHash, PeerTime: pend.env.T,
+		PeerSig: pend.env.Sig, PeerSeq: pend.env.Seq}
+	hy := seclog.ChainHash(n.suite, n.Stats, ack.PrevHash, rcvEntry)
+	if !seclog.VerifyCommitment(n.Stats, pub, ack.T, hy, ack.Sig) {
+		return fmt.Errorf("core: bad ack signature from %s", from)
+	}
+	t := n.now()
+	if skew := ack.T - t; skew > n.cfg.DeltaClock+n.cfg.Tprop || -skew > n.cfg.DeltaClock+n.cfg.Tprop {
+		return fmt.Errorf("core: ack timestamp from %s outside Δclock+Tprop", from)
+	}
+	n.Auths.Add(seclog.Authenticator{Node: from, Seq: ack.Seq, T: ack.T, Hash: hy, Sig: ack.Sig})
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EAck, AckIDs: ack.IDs,
+		PeerPrevHash: ack.PrevHash, PeerTime: ack.T, PeerSig: ack.Sig, PeerSeq: ack.Seq,
+		EnvSig: pend.env.Sig})
+	delete(n.outstanding, ack.IDs[0])
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Periodic duties.
+
+// Tick drives batching, retransmission, missing-ack notification, and
+// checkpointing. The harness calls it periodically.
+func (n *Node) Tick() {
+	t := n.now()
+	// Flush batches older than Tbatch.
+	if n.cfg.Tbatch > 0 {
+		dsts := make([]string, 0, len(n.queueSince))
+		for d := range n.queueSince {
+			dsts = append(dsts, string(d))
+		}
+		sort.Strings(dsts)
+		for _, d := range dsts {
+			if t-n.queueSince[types.NodeID(d)] >= n.cfg.Tbatch {
+				n.flush(types.NodeID(d))
+			}
+		}
+	}
+	// Retransmit unacknowledged envelopes once after Tprop; notify the
+	// maintainer after 2·Tprop (§5.4).
+	ids := make([]types.MessageID, 0, len(n.outstanding))
+	for id := range n.outstanding {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Dst != ids[j].Dst {
+			return ids[i].Dst < ids[j].Dst
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	for _, id := range ids {
+		pend := n.outstanding[id]
+		age := t - pend.sent
+		if age > n.cfg.Tprop && !pend.retried && n.net != nil {
+			pend.retried = true
+			n.net.Send(n.ID, pend.dst, &Packet{Kind: PktEnvelope, Envelope: pend.env})
+		}
+		if age > 2*n.cfg.Tprop && !pend.notified {
+			pend.notified = true
+			if n.maintainer != nil {
+				n.maintainer.NotifyMissingAck(n.ID, id)
+			}
+		}
+	}
+	// Checkpoint.
+	if n.cfg.CheckpointEvery > 0 && t-n.lastCkpt >= n.cfg.CheckpointEvery {
+		n.WriteCheckpoint()
+	}
+}
+
+// WriteCheckpoint records the machine's full state in the log (§5.6).
+func (n *Node) WriteCheckpoint() {
+	t := n.now()
+	n.lastCkpt = t
+	ck := seclog.BuildCheckpoint(n.suite, n.Stats, n.Machine.Snapshot(), ExtantsOf(n.Machine))
+	n.Log.Append(&seclog.Entry{T: t, Type: seclog.ECkpt, Ckpt: ck})
+}
+
+// ---------------------------------------------------------------------------
+// Audit interface (control plane).
+
+// ErrAuditRefused is returned by faulty nodes that ignore retrieve
+// requests; the querier leaves the vertex yellow.
+var ErrAuditRefused = fmt.Errorf("core: node refuses to answer")
+
+// HandleRetrieve serves the retrieve primitive of §5.4: the log segment
+// from the last checkpoint before StartTime through at least the evidence
+// position (extended to EndTime or the head, with a fresh authenticator).
+func (n *Node) HandleRetrieve(req RetrieveRequest) (*RetrieveResponse, error) {
+	if n.RefuseAudit {
+		return nil, ErrAuditRefused
+	}
+	if n.Log.Len() == 0 {
+		return nil, fmt.Errorf("core: %s has an empty log", n.ID)
+	}
+	// Position of the first entry at or after StartTime.
+	start := n.Log.Len()
+	for s := n.Log.FirstSeq(); s <= n.Log.Len(); s++ {
+		if n.Log.EntryAt(s).T >= req.StartTime {
+			start = s
+			break
+		}
+	}
+	from := n.Log.LastCheckpointBefore(start)
+	if from == 0 {
+		from = n.Log.FirstSeq()
+	}
+	// End: cover the evidence and the vertex lifetime.
+	end := req.Auth.Seq
+	if end < from {
+		end = from
+	}
+	if req.EndTime == 0 || req.EndTime >= n.lastEntryT {
+		end = n.Log.Len()
+	} else {
+		for s := end; s <= n.Log.Len(); s++ {
+			end = s
+			if n.Log.EntryAt(s).T > req.EndTime {
+				break
+			}
+		}
+	}
+	seg, err := n.Log.Segment(from, end)
+	if err != nil {
+		return nil, err
+	}
+	resp := &RetrieveResponse{Segment: seg}
+	if end != req.Auth.Seq || req.Auth.Node != n.ID {
+		auth, err := n.Log.AuthenticatorAt(end)
+		if err != nil {
+			return nil, err
+		}
+		resp.NewAuth = &auth
+	}
+	return resp, nil
+}
+
+// AuthsAbout serves the consistency check (§5.5): every authenticator this
+// node holds that was signed by target with a timestamp in [t1, t2].
+func (n *Node) AuthsAbout(target types.NodeID, t1, t2 types.Time) []seclog.Authenticator {
+	if n.RefuseAudit {
+		return nil
+	}
+	return n.Auths.FromInInterval(target, t1, t2)
+}
+
+// LatestAuth returns the freshest authenticator this node can produce about
+// itself (used to bootstrap evidence for queries).
+func (n *Node) LatestAuth() (seclog.Authenticator, error) {
+	if n.Log.Len() == 0 {
+		return seclog.Authenticator{}, fmt.Errorf("core: %s has an empty log", n.ID)
+	}
+	if n.RefuseAudit {
+		return seclog.Authenticator{}, ErrAuditRefused
+	}
+	return n.Log.Authenticator()
+}
+
+// Now exposes the node's clock (monotonic log time).
+func (n *Node) Now() types.Time { return n.now() }

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/provgraph"
+	"repro/internal/seclog"
+	"repro/internal/types"
+)
+
+// QueryMetrics accumulates the cost of one query session, matching the
+// quantities Figure 8 reports: bytes downloaded by category and time spent
+// checking authenticators vs. replaying.
+type QueryMetrics struct {
+	LogBytes       int64
+	AuthBytes      int64
+	CkptBytes      int64
+	VerifyTime     time.Duration
+	ReplayTime     time.Duration
+	Microqueries   int
+	NodesContacted int
+}
+
+// TotalBytes returns all bytes downloaded.
+func (m QueryMetrics) TotalBytes() int64 { return m.LogBytes + m.AuthBytes + m.CkptBytes }
+
+// Fetcher gives the querier access to the nodes' audit interfaces. The
+// simulated network and the TCP transport both implement it.
+type Fetcher interface {
+	// Retrieve invokes the retrieve primitive on a node.
+	Retrieve(node types.NodeID, req RetrieveRequest) (*RetrieveResponse, error)
+	// LatestAuth obtains fresh evidence (the node's newest authenticator).
+	LatestAuth(node types.NodeID) (seclog.Authenticator, error)
+	// AuthsAbout asks observer for authenticators signed by target in
+	// [t1, t2] (the §5.5 consistency check).
+	AuthsAbout(observer, target types.NodeID, t1, t2 types.Time) []seclog.Authenticator
+	// Nodes lists all reachable nodes.
+	Nodes() []types.NodeID
+}
+
+// QueryMode selects what the root vertex of an explanation is.
+type QueryMode uint8
+
+// Query modes: current state ("why does τ exist?"), historical state ("why
+// did τ exist at t?"), and the dynamic forms ("why did τ (dis)appear?").
+const (
+	ModeExist QueryMode = iota
+	ModeAppear
+	ModeDisappear
+)
+
+// Direction selects causes (backward) or effects (forward, the causal
+// queries used to assess damage after an attack).
+type Direction uint8
+
+// Traversal directions.
+const (
+	Causes Direction = iota
+	Effects
+)
+
+// QueryOpts parameterizes a macroquery.
+type QueryOpts struct {
+	Mode      QueryMode
+	Direction Direction
+	// At is the reference time for historical queries; zero means "now".
+	At types.Time
+	// Scope bounds the traversal depth (the scope k of §5.1); zero means
+	// unlimited.
+	Scope int
+	// SkipConsistency disables the §5.5 consistency check (used by
+	// benchmarks to isolate costs).
+	SkipConsistency bool
+	// StartHint bounds how far back the first retrieve must reach; replay
+	// then starts from the last checkpoint before it (§5.6). Zero fetches
+	// the whole retained log.
+	StartHint types.Time
+}
+
+// Explanation is one vertex of a query answer, with its resolved color and
+// its (cause or effect) children.
+type Explanation struct {
+	Vertex    *provgraph.Vertex
+	Color     provgraph.Color
+	Children  []*Explanation
+	Truncated bool   // scope limit reached
+	Revisit   bool   // vertex already expanded elsewhere in this answer
+	Note      string // e.g. "node did not respond"
+}
+
+// Querier is the query processor (§5.1): it answers macroqueries by
+// repeatedly invoking the microquery primitive, auditing nodes on demand
+// and assembling explanations from the reconstructed graph.
+type Querier struct {
+	Auditor *Auditor
+	Fetch   Fetcher
+	Metrics QueryMetrics
+
+	// yellowNodes records nodes that failed to answer retrieve; their
+	// vertices stay yellow (§4.2, the "unavailable" limitation).
+	yellowNodes map[types.NodeID]error
+}
+
+// NewQuerier creates a query processor over the given auditor and fetcher.
+func NewQuerier(auditor *Auditor, fetch Fetcher) *Querier {
+	return &Querier{Auditor: auditor, Fetch: fetch, yellowNodes: make(map[types.NodeID]error)}
+}
+
+// EnsureAudited retrieves and replays node's log if not already done.
+// startHint bounds how far back the segment must reach (zero = everything).
+func (q *Querier) EnsureAudited(node types.NodeID, startHint types.Time) error {
+	if q.Auditor.Audited(node) {
+		return nil
+	}
+	if err, bad := q.yellowNodes[node]; bad {
+		return err
+	}
+	q.Metrics.Microqueries++
+	auth, err := q.Fetch.LatestAuth(node)
+	if err != nil {
+		q.yellowNodes[node] = err
+		return err
+	}
+	q.Metrics.AuthBytes += int64(auth.WireSize())
+	resp, err := q.Fetch.Retrieve(node, RetrieveRequest{Auth: auth, StartTime: startHint})
+	if err != nil {
+		q.yellowNodes[node] = err
+		return err
+	}
+	q.Metrics.NodesContacted++
+	q.accountDownload(resp)
+	start := time.Now()
+	replayErr := q.Auditor.Replay(node, resp, auth)
+	q.Metrics.ReplayTime += time.Since(start)
+	if replayErr != nil {
+		// The node answered but its log is provably bad; failures are
+		// recorded and its vertices will be red.
+		return nil
+	}
+	return nil
+}
+
+func (q *Querier) accountDownload(resp *RetrieveResponse) {
+	for _, e := range resp.Segment.Entries {
+		if e.Type == seclog.ECkpt {
+			q.Metrics.CkptBytes += int64(e.WireSize())
+		} else {
+			q.Metrics.LogBytes += int64(e.WireSize())
+		}
+	}
+	if resp.NewAuth != nil {
+		q.Metrics.AuthBytes += int64(resp.NewAuth.WireSize())
+	}
+}
+
+// consistencyCheck runs §5.5's equivocation check for node over [t1, t2]:
+// it collects authenticators signed by node from all peers and verifies
+// each against the chain the node presented.
+func (q *Querier) consistencyCheck(node types.NodeID, t1, t2 types.Time) {
+	start := time.Now()
+	defer func() { q.Metrics.VerifyTime += time.Since(start) }()
+	for _, peer := range q.Fetch.Nodes() {
+		if peer == node {
+			continue
+		}
+		for _, a := range q.Fetch.AuthsAbout(peer, node, t1, t2) {
+			q.Metrics.AuthBytes += int64(a.WireSize())
+			q.Auditor.CheckAuthenticator(a)
+		}
+	}
+}
+
+// colorOf resolves a vertex's effective color: red if the host's audit
+// failed, yellow if the host never answered, otherwise the graph color.
+func (q *Querier) colorOf(v *provgraph.Vertex) (provgraph.Color, string) {
+	if _, bad := q.yellowNodes[v.Host]; bad {
+		return provgraph.Yellow, fmt.Sprintf("node %s did not respond to retrieve", v.Host)
+	}
+	if q.Auditor.NodeFailed(v.Host) {
+		return provgraph.Red, fmt.Sprintf("audit of %s failed", v.Host)
+	}
+	return v.Color, ""
+}
+
+// Explain answers a macroquery about tuple on node.
+func (q *Querier) Explain(node types.NodeID, tuple types.Tuple, opts QueryOpts) (*Explanation, error) {
+	if err := q.EnsureAudited(node, opts.StartHint); err != nil {
+		return nil, fmt.Errorf("core: cannot audit %s: %w", node, err)
+	}
+	q.Auditor.Finalize()
+	root := q.findRoot(node, tuple, opts)
+	if root == nil {
+		return nil, fmt.Errorf("core: no %v vertex for %s on %s", opts.Mode, tuple, node)
+	}
+	if !opts.SkipConsistency {
+		t2 := root.T2
+		if t2 == provgraph.Forever {
+			t2 = q.Auditor.endTimes[node]
+		}
+		q.consistencyCheck(node, root.T1, t2)
+	}
+	visited := make(map[string]bool)
+	expl := q.expand(root, opts, 0, visited)
+	q.Auditor.Finalize()
+	return expl, nil
+}
+
+func (q *Querier) findRoot(node types.NodeID, tuple types.Tuple, opts QueryOpts) *provgraph.Vertex {
+	g := q.Auditor.Graph()
+	if opts.Direction == Effects && opts.Mode == ModeExist {
+		// Effects flow out of the appearance (appear → {exist, derive,
+		// send}); rooting at the exist vertex would miss the immediate
+		// consequences.
+		opts.Mode = ModeAppear
+	}
+	var best *provgraph.Vertex
+	for _, v := range g.TupleVertices(node, tuple) {
+		switch opts.Mode {
+		case ModeExist:
+			// Believed remote tuples are represented by believe vertices on
+			// the believer, so both satisfy an "exists" query.
+			if v.Type != provgraph.VExist && v.Type != provgraph.VBelieve {
+				continue
+			}
+			if opts.At != 0 && (v.T1 > opts.At || v.T2 < opts.At) {
+				continue
+			}
+		case ModeAppear:
+			if (v.Type != provgraph.VAppear && v.Type != provgraph.VBelieveAppear) ||
+				(opts.At != 0 && v.T1 > opts.At) {
+				continue
+			}
+		case ModeDisappear:
+			if (v.Type != provgraph.VDisappear && v.Type != provgraph.VBelieveDisappear) ||
+				(opts.At != 0 && v.T1 > opts.At) {
+				continue
+			}
+		}
+		if best == nil || v.T1 > best.T1 ||
+			(v.T1 == best.T1 && v.Type == provgraph.VExist && best.Type == provgraph.VBelieve) {
+			best = v
+		}
+	}
+	return best
+}
+
+// expand is the recursive macroquery walk: each visited vertex is resolved
+// via the shared graph, auditing new hosts as the traversal crosses node
+// boundaries (exactly the repeated microquery navigation of §4.4).
+func (q *Querier) expand(v *provgraph.Vertex, opts QueryOpts, depth int, visited map[string]bool) *Explanation {
+	q.Metrics.Microqueries++
+	e := &Explanation{Vertex: v}
+	// Crossing onto another node: audit it so the vertex can be verified
+	// and its neighborhood reconstructed.
+	if !q.Auditor.Audited(v.Host) {
+		if err := q.EnsureAudited(v.Host, 0); err == nil {
+			q.Auditor.Finalize()
+		}
+	}
+	e.Color, e.Note = q.colorOf(v)
+	if visited[v.ID()] {
+		e.Revisit = true
+		return e
+	}
+	visited[v.ID()] = true
+	if opts.Scope > 0 && depth >= opts.Scope {
+		e.Truncated = true
+		return e
+	}
+	var next []*provgraph.Vertex
+	if opts.Direction == Causes {
+		next = v.In()
+	} else {
+		next = v.Out()
+	}
+	ordered := append([]*provgraph.Vertex(nil), next...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID() < ordered[j].ID() })
+	for _, w := range ordered {
+		e.Children = append(e.Children, q.expand(w, opts, depth+1, visited))
+	}
+	if v.FromCheckpoint && opts.Direction == Causes && len(e.Children) == 0 {
+		e.Note = "state restored from checkpoint; causes in an earlier log segment"
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Explanation inspection and rendering.
+
+// FindColor returns all explanations in the tree with the given resolved
+// color.
+func (e *Explanation) FindColor(c provgraph.Color) []*Explanation {
+	var out []*Explanation
+	e.walk(func(x *Explanation) {
+		if x.Color == c {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// FaultyNodes returns the set of hosts with red vertices in the answer,
+// sorted.
+func (e *Explanation) FaultyNodes() []types.NodeID {
+	seen := map[types.NodeID]bool{}
+	for _, r := range e.FindColor(provgraph.Red) {
+		seen[r.Vertex.Host] = true
+	}
+	out := make([]types.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of explanation nodes in the tree.
+func (e *Explanation) Size() int {
+	n := 0
+	e.walk(func(*Explanation) { n++ })
+	return n
+}
+
+// Walk visits every explanation node in the tree, depth-first.
+func (e *Explanation) Walk(f func(*Explanation)) { e.walk(f) }
+
+func (e *Explanation) walk(f func(*Explanation)) {
+	f(e)
+	for _, c := range e.Children {
+		c.walk(f)
+	}
+}
+
+// Format renders the explanation as an indented tree in the style of the
+// paper's Figure 2.
+func (e *Explanation) Format() string {
+	var sb strings.Builder
+	e.format(&sb, 0)
+	return sb.String()
+}
+
+func (e *Explanation) format(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(e.Vertex.Label())
+	if e.Color != provgraph.Black {
+		fmt.Fprintf(sb, "  [%s]", strings.ToUpper(e.Color.String()))
+	}
+	if e.Note != "" {
+		fmt.Fprintf(sb, "  (%s)", e.Note)
+	}
+	switch {
+	case e.Revisit:
+		sb.WriteString("  (see above)")
+	case e.Truncated:
+		sb.WriteString("  (scope limit)")
+	}
+	sb.WriteByte('\n')
+	for _, c := range e.Children {
+		c.format(sb, depth+1)
+	}
+}
+
+func (m QueryMode) String() string {
+	switch m {
+	case ModeExist:
+		return "exist"
+	case ModeAppear:
+		return "appear"
+	case ModeDisappear:
+		return "disappear"
+	default:
+		return fmt.Sprintf("mode(%d)", m)
+	}
+}

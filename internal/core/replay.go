@@ -1,0 +1,382 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/provgraph"
+	"repro/internal/seclog"
+	"repro/internal/types"
+)
+
+// Failure records one provable problem found while auditing a node's log.
+// Any failure concerning host(v) makes microquery report red(v) (§5.5).
+type Failure struct {
+	Node   types.NodeID
+	Seq    uint64 // log position, 0 if not entry-specific
+	Reason string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s@%d: %s", f.Node, f.Seq, f.Reason)
+}
+
+// Auditor verifies retrieved log segments and replays them through the
+// graph-construction algorithm, accumulating one provenance graph across
+// all audited nodes (the querier's Gν(ε)). It also cross-checks the chain
+// positions that peers vouch for against the chains the audited nodes
+// present, which is what exposes equivocation (§5.5's consistency check).
+type Auditor struct {
+	Builder *provgraph.Builder
+	Stats   *cryptoutil.Stats
+
+	cfg   Config
+	suite cryptoutil.Suite
+	dir   *Directory
+
+	covered  map[types.NodeID]*auditedNode
+	implied  map[types.NodeID]map[uint64]*impliedCommit
+	failures []Failure
+	endTimes map[types.NodeID]types.Time
+}
+
+type auditedNode struct {
+	from, to uint64
+	hashes   map[uint64][]byte // seq -> h_seq
+	sent     map[types.MessageID]*sentEnvelope
+}
+
+type sentEnvelope struct {
+	msgs     []types.Message
+	seq      uint64
+	t        types.Time
+	prevHash []byte
+}
+
+// impliedCommit is a chain position another node vouches for: an envelope
+// or ack signature embedded in an audited log.
+type impliedCommit struct {
+	hash     []byte
+	t        types.Time
+	reporter types.NodeID
+	msgs     []types.Message // messages explaining the commitment, if any
+}
+
+// NewAuditor creates an auditor. factory builds the deterministic state
+// machine used for replay; maint, when non-nil, excuses unacked sends whose
+// loss was reported (§5.4).
+func NewAuditor(cfg Config, dir *Directory, factory types.MachineFactory, maint *Maintainer) *Auditor {
+	b := provgraph.NewBuilder(factory, cfg.Tprop)
+	if maint != nil {
+		b.MissedAckKnown = maint.WasNotified
+	}
+	return &Auditor{
+		Builder:  b,
+		Stats:    new(cryptoutil.Stats),
+		cfg:      cfg,
+		suite:    cfg.suite(),
+		dir:      dir,
+		covered:  make(map[types.NodeID]*auditedNode),
+		implied:  make(map[types.NodeID]map[uint64]*impliedCommit),
+		endTimes: make(map[types.NodeID]types.Time),
+	}
+}
+
+// Failures returns every problem found so far.
+func (a *Auditor) Failures() []Failure { return a.failures }
+
+// NodeFailed reports whether any failure implicates node id.
+func (a *Auditor) NodeFailed(id types.NodeID) bool {
+	for _, f := range a.failures {
+		if f.Node == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Audited reports whether node id's log has been replayed.
+func (a *Auditor) Audited(id types.NodeID) bool {
+	_, ok := a.covered[id]
+	return ok
+}
+
+func (a *Auditor) fail(node types.NodeID, seq uint64, format string, args ...any) {
+	a.failures = append(a.failures, Failure{Node: node, Seq: seq, Reason: fmt.Sprintf(format, args...)})
+}
+
+// Replay verifies one retrieved segment against the evidence and replays it
+// into the shared graph. A verification error means the node could not
+// produce a log matching its own commitments — provable misbehavior, also
+// recorded as a failure.
+func (a *Auditor) Replay(node types.NodeID, resp *RetrieveResponse, evidence seclog.Authenticator) error {
+	if prior, ok := a.covered[node]; ok {
+		_ = prior
+		return nil // already replayed (one segment per node per query session)
+	}
+	seg := resp.Segment
+	if seg.Node != node {
+		a.fail(node, 0, "returned a segment for %s", seg.Node)
+		return fmt.Errorf("core: segment node mismatch")
+	}
+	pub, err := a.dir.Key(node)
+	if err != nil {
+		return err
+	}
+	// Pick the freshest valid commitment to verify against: the new
+	// authenticator if it checks out, otherwise the evidence we held.
+	auth := evidence
+	if resp.NewAuth != nil && resp.NewAuth.Node == node && resp.NewAuth.Seq >= auth.Seq {
+		if resp.NewAuth.Verify(pub) {
+			auth = *resp.NewAuth
+		} else {
+			a.fail(node, resp.NewAuth.Seq, "returned an invalid fresh authenticator")
+		}
+	}
+	a.Stats.CountVerify()
+	hashes, err := seg.VerifyAgainst(a.suite, a.Stats, pub, auth)
+	if err != nil {
+		a.fail(node, auth.Seq, "log does not match authenticator: %v", err)
+		return err
+	}
+	// Evidence older than the fresh authenticator must also lie on this
+	// chain (otherwise the node forked its log).
+	if evidence.Node == node && evidence.Seq != auth.Seq &&
+		evidence.Seq >= seg.From && evidence.Seq <= seg.To() {
+		if !bytes.Equal(hashes[evidence.Seq-seg.From], evidence.Hash) {
+			a.fail(node, evidence.Seq, "evidence authenticator is not on the returned chain (fork)")
+		}
+	}
+
+	audited := &auditedNode{from: seg.From, to: seg.To(),
+		hashes: make(map[uint64][]byte), sent: make(map[types.MessageID]*sentEnvelope)}
+	for i, h := range hashes {
+		audited.hashes[seg.From+uint64(i)] = h
+	}
+	a.covered[node] = audited
+
+	a.replayEntries(node, seg, audited)
+	a.crossCheck(node, audited)
+	return nil
+}
+
+// replayEntries expands entries into GCA events, re-verifying embedded peer
+// signatures and checkpoints along the way.
+func (a *Auditor) replayEntries(node types.NodeID, seg *seclog.SegmentData, audited *auditedNode) {
+	for i, e := range seg.Entries {
+		seq := seg.From + uint64(i)
+		if e.T > a.endTimes[node] {
+			a.endTimes[node] = e.T
+		}
+		switch e.Type {
+		case seclog.EIns:
+			a.Builder.HandleEvent(types.Event{Kind: types.EvIns, Node: node, Time: e.T,
+				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody, Replaces: e.Replaces})
+		case seclog.EDel:
+			a.Builder.HandleEvent(types.Event{Kind: types.EvDel, Node: node, Time: e.T,
+				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody})
+		case seclog.ESnd:
+			if len(e.Msgs) == 0 {
+				a.fail(node, seq, "empty snd entry")
+				continue
+			}
+			prev := seg.BaseHash
+			if seq > seg.From {
+				prev = audited.hashes[seq-1]
+			}
+			audited.sent[e.Msgs[0].ID()] = &sentEnvelope{msgs: e.Msgs, seq: seq, t: e.T, prevHash: prev}
+			for j := range e.Msgs {
+				msg := e.Msgs[j]
+				if msg.Src != node {
+					a.fail(node, seq, "snd entry with foreign source %s", msg.Src)
+				}
+				a.Builder.HandleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T, Msg: &msg})
+			}
+		case seclog.ERcv:
+			a.replayRcv(node, seq, e)
+		case seclog.EAck:
+			a.replayAck(node, seq, e, audited)
+		case seclog.ECkpt:
+			a.replayCkpt(node, seq, e, i == 0)
+		}
+	}
+}
+
+func (a *Auditor) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
+	if len(e.Msgs) == 0 {
+		a.fail(node, seq, "empty rcv entry")
+		return
+	}
+	src := e.Msgs[0].Src
+	// Re-verify the sender's envelope commitment (§5.4 conditions). The
+	// implied chain position is also recorded for the equivocation check.
+	sndEntry := &seclog.Entry{T: e.PeerTime, Type: seclog.ESnd, Msgs: e.Msgs}
+	hx := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, sndEntry)
+	if pub, err := a.dir.Key(src); err != nil {
+		a.fail(node, seq, "rcv from unknown node %s", src)
+	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hx, e.PeerSig) {
+		a.fail(node, seq, "rcv entry carries an invalid signature from %s", src)
+	} else {
+		a.recordImplied(src, e.PeerSeq, &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs})
+	}
+	for j := range e.Msgs {
+		msg := e.Msgs[j]
+		if msg.Dst != node {
+			a.fail(node, seq, "rcv entry with foreign destination %s", msg.Dst)
+			continue
+		}
+		id := msg.ID()
+		a.Builder.HandleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
+			Msg: &msg, SameBatch: j > 0})
+		// The rcv entry commits the receiver to acknowledging: synthesize
+		// the ack transmission (acks are implicit in the log, §5.4).
+		a.Builder.HandleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T,
+			AckID: &id, AckTime: e.T})
+	}
+}
+
+func (a *Auditor) replayAck(node types.NodeID, seq uint64, e *seclog.Entry, audited *auditedNode) {
+	if len(e.AckIDs) == 0 {
+		a.fail(node, seq, "empty ack entry")
+		return
+	}
+	pend := audited.sent[e.AckIDs[0]]
+	dst := e.AckIDs[0].Dst
+	if pend == nil {
+		a.fail(node, seq, "ack entry without a matching snd entry")
+		return
+	}
+	// Reconstruct the receiver's rcv entry and re-verify its signature.
+	rcvEntry := &seclog.Entry{T: e.PeerTime, Type: seclog.ERcv, Msgs: pend.msgs,
+		PeerPrevHash: pend.prevHash, PeerTime: pend.t, PeerSig: e.EnvSig, PeerSeq: pend.seq}
+	hy := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, rcvEntry)
+	if pub, err := a.dir.Key(dst); err != nil {
+		a.fail(node, seq, "ack from unknown node %s", dst)
+	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hy, e.PeerSig) {
+		a.fail(node, seq, "ack entry carries an invalid signature from %s", dst)
+	} else {
+		a.recordImplied(dst, e.PeerSeq, &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs})
+	}
+	for i := range e.AckIDs {
+		id := e.AckIDs[i]
+		a.Builder.HandleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
+			AckID: &id, AckTime: e.PeerTime})
+	}
+}
+
+func (a *Auditor) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atSegmentStart bool) {
+	ck := e.Ckpt
+	if ck == nil {
+		a.fail(node, seq, "checkpoint entry without payload")
+		return
+	}
+	if err := ck.VerifyFull(a.suite, a.Stats); err != nil {
+		a.fail(node, seq, "checkpoint payload does not match digests: %v", err)
+		return
+	}
+	if atSegmentStart {
+		// Start of replay: restore the machine and seed the graph with the
+		// extant tuples (their causes live in an earlier segment).
+		if err := a.Builder.RestoreMachine(node, ck.MachineState); err != nil {
+			a.fail(node, seq, "checkpoint state does not restore: %v", err)
+			return
+		}
+		for _, it := range ck.Items {
+			if it.Local {
+				a.Builder.SeedExist(node, it.Tuple, it.Appeared)
+			}
+			for _, b := range it.Believed {
+				a.Builder.SeedBelieve(node, b.Origin, it.Tuple, b.Since)
+			}
+		}
+		return
+	}
+	// Mid-segment checkpoint: the replayed machine must agree with it,
+	// otherwise the node checkpointed state it never reached ("if a faulty
+	// node adds a nonexistent tuple to its checkpoint, this will be
+	// discovered when ... replay will begin before the checkpoint and end
+	// after it", §5.6).
+	snap := a.Builder.MachineFor(node).Snapshot()
+	a.Stats.CountHash(len(snap))
+	if !bytes.Equal(a.suite.Hash(snap), ck.StateHash) {
+		a.fail(node, seq, "checkpoint disagrees with replayed state")
+	}
+}
+
+func (a *Auditor) recordImplied(node types.NodeID, seq uint64, c *impliedCommit) {
+	m := a.implied[node]
+	if m == nil {
+		m = make(map[uint64]*impliedCommit)
+		a.implied[node] = m
+	}
+	if old, ok := m[seq]; ok {
+		// Two peers vouch for the same position: they must agree, or the
+		// node equivocated.
+		if !bytes.Equal(old.hash, c.hash) {
+			a.equivocation(node, seq, old, c)
+		}
+		return
+	}
+	m[seq] = c
+	// If the node is already audited, check against its presented chain.
+	if audited, ok := a.covered[node]; ok {
+		if h, ok := audited.hashes[seq]; ok && !bytes.Equal(h, c.hash) {
+			a.equivocation(node, seq, c, c)
+		}
+	}
+}
+
+// crossCheck compares a freshly audited chain with every implied commitment
+// collected so far.
+func (a *Auditor) crossCheck(node types.NodeID, audited *auditedNode) {
+	keys := make([]uint64, 0, len(a.implied[node]))
+	for seq := range a.implied[node] {
+		keys = append(keys, seq)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, seq := range keys {
+		c := a.implied[node][seq]
+		if h, ok := audited.hashes[seq]; ok && !bytes.Equal(h, c.hash) {
+			a.equivocation(node, seq, c, c)
+		}
+	}
+}
+
+func (a *Auditor) equivocation(node types.NodeID, seq uint64, c1, c2 *impliedCommit) {
+	a.fail(node, seq, "equivocation: conflicting commitments for log position %d", seq)
+	// Surface the conflicting transmission as red send/receive vertices
+	// (handle-extra-msg, Figure 11).
+	for _, c := range []*impliedCommit{c1, c2} {
+		for i := range c.msgs {
+			a.Builder.HandleExtraMsg(&c.msgs[i])
+		}
+	}
+}
+
+// CheckAuthenticator cross-checks an externally collected authenticator
+// (from the consistency check of §5.5) against an audited node's chain.
+func (a *Auditor) CheckAuthenticator(auth seclog.Authenticator) {
+	pub, err := a.dir.Key(auth.Node)
+	if err != nil || !auth.Verify(pub) {
+		return // not valid evidence
+	}
+	a.Stats.CountVerify()
+	audited, ok := a.covered[auth.Node]
+	if !ok {
+		return
+	}
+	if h, ok := audited.hashes[auth.Seq]; ok && !bytes.Equal(h, auth.Hash) {
+		a.fail(auth.Node, auth.Seq, "authenticator held by a peer is not on the presented chain (fork)")
+	}
+}
+
+// Finalize flags suppressed sends, missing acks, and unacknowledged
+// receives at the end of the audited prefixes (quiescence check).
+func (a *Auditor) Finalize() {
+	a.Builder.Finalize(a.endTimes)
+}
+
+// Graph returns the reconstructed provenance graph Gν(ε).
+func (a *Auditor) Graph() *provgraph.Graph { return a.Builder.G }

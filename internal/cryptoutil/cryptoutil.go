@@ -1,0 +1,283 @@
+// Package cryptoutil provides the cryptographic primitives SNooPy relies on
+// (paper §5.2, assumptions 2–3): per-node keypairs whose signatures cannot be
+// forged, and a collision-resistant hash used for the tamper-evident log's
+// hash chain.
+//
+// Two suites are provided. RSA1024SHA1 matches the paper's evaluation setup
+// (1,024-bit RSA keys and SHA-1 hashes, §7.1) so that authenticator and
+// acknowledgment sizes are comparable to the published numbers. Ed25519SHA256
+// is a modern, much faster suite used as the default for large simulations;
+// every protocol is identical under either suite.
+//
+// Key generation is deterministic given a seed so that experiments are
+// reproducible; this stands in for the paper's offline CA that installs a
+// certificate on each node.
+package cryptoutil
+
+import (
+	"crypto"
+	"crypto/ed25519"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Suite bundles a hash function and a signature scheme.
+type Suite interface {
+	// Name identifies the suite in experiment output.
+	Name() string
+	// Hash returns the digest of the concatenation of the given byte slices.
+	Hash(parts ...[]byte) []byte
+	// HashSize returns the digest length in bytes.
+	HashSize() int
+	// GenerateKey deterministically derives a keypair from seed.
+	GenerateKey(seed int64) (PrivateKey, error)
+	// SignatureSize returns the signature length in bytes.
+	SignatureSize() int
+}
+
+// PrivateKey signs messages on behalf of one node.
+type PrivateKey interface {
+	Sign(msg []byte) ([]byte, error)
+	Public() PublicKey
+}
+
+// PublicKey verifies signatures.
+type PublicKey interface {
+	Verify(msg, sig []byte) bool
+	// Marshal returns a stable encoding of the key, suitable for
+	// certificates and for identifying the key in logs.
+	Marshal() []byte
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness for key generation.
+
+// detReader is a deterministic io.Reader derived from a seed, implemented as
+// SHA-256 in counter mode. It exists only so experiments are reproducible.
+type detReader struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+func newDetReader(domain string, seed int64) *detReader {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seed))
+	return &detReader{seed: sha256.Sum256(append([]byte(domain), b[:]...))}
+}
+
+func (d *detReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(d.buf) == 0 {
+			var ctr [8]byte
+			binary.BigEndian.PutUint64(ctr[:], d.ctr)
+			d.ctr++
+			block := sha256.Sum256(append(d.seed[:], ctr[:]...))
+			d.buf = block[:]
+		}
+		c := copy(p[n:], d.buf)
+		d.buf = d.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ed25519 / SHA-256 suite.
+
+type ed25519Suite struct{}
+
+// Ed25519SHA256 is the fast default suite.
+var Ed25519SHA256 Suite = ed25519Suite{}
+
+func (ed25519Suite) Name() string { return "ed25519-sha256" }
+
+func (ed25519Suite) Hash(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+func (ed25519Suite) HashSize() int      { return sha256.Size }
+func (ed25519Suite) SignatureSize() int { return ed25519.SignatureSize }
+
+func (ed25519Suite) GenerateKey(seed int64) (PrivateKey, error) {
+	var seedBytes [ed25519.SeedSize]byte
+	r := newDetReader("snp-ed25519", seed)
+	if _, err := r.Read(seedBytes[:]); err != nil {
+		return nil, err
+	}
+	key := ed25519.NewKeyFromSeed(seedBytes[:])
+	return ed25519Key{key}, nil
+}
+
+type ed25519Key struct{ key ed25519.PrivateKey }
+
+func (k ed25519Key) Sign(msg []byte) ([]byte, error) {
+	return ed25519.Sign(k.key, msg), nil
+}
+
+func (k ed25519Key) Public() PublicKey {
+	return ed25519Pub{k.key.Public().(ed25519.PublicKey)}
+}
+
+type ed25519Pub struct{ key ed25519.PublicKey }
+
+func (p ed25519Pub) Verify(msg, sig []byte) bool {
+	return ed25519.Verify(p.key, msg, sig)
+}
+
+func (p ed25519Pub) Marshal() []byte { return append([]byte(nil), p.key...) }
+
+// ---------------------------------------------------------------------------
+// RSA-1024 / SHA-1 suite (paper-faithful sizes).
+
+type rsaSuite struct{}
+
+// RSA1024SHA1 reproduces the paper's crypto configuration (§7.1): 1,024-bit
+// RSA keys and SHA-1 hash chains. SHA-1 is cryptographically broken and this
+// suite exists solely for byte-size fidelity with the published evaluation.
+var RSA1024SHA1 Suite = rsaSuite{}
+
+func (rsaSuite) Name() string { return "rsa1024-sha1" }
+
+func (rsaSuite) Hash(parts ...[]byte) []byte {
+	h := sha1.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+func (rsaSuite) HashSize() int      { return sha1.Size }
+func (rsaSuite) SignatureSize() int { return 128 } // 1,024-bit modulus
+
+// GenerateKey derives a keypair from seed. Note: crypto/rsa deliberately
+// injects nondeterminism into key generation, so unlike the Ed25519 suite,
+// RSA keys are only stable within a process (via PooledKey), not across runs.
+func (rsaSuite) GenerateKey(seed int64) (PrivateKey, error) {
+	key, err := rsa.GenerateKey(newDetReader("snp-rsa", seed), 1024)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: rsa keygen: %w", err)
+	}
+	return rsaKey{key}, nil
+}
+
+type rsaKey struct{ key *rsa.PrivateKey }
+
+func (k rsaKey) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	return rsa.SignPKCS1v15(nil, k.key, crypto.SHA256, digest[:])
+}
+
+func (k rsaKey) Public() PublicKey { return rsaPub{&k.key.PublicKey} }
+
+type rsaPub struct{ key *rsa.PublicKey }
+
+func (p rsaPub) Verify(msg, sig []byte) bool {
+	digest := sha256.Sum256(msg)
+	return rsa.VerifyPKCS1v15(p.key, crypto.SHA256, digest[:], sig) == nil
+}
+
+func (p rsaPub) Marshal() []byte {
+	return x509.MarshalPKCS1PublicKey(p.key)
+}
+
+// ---------------------------------------------------------------------------
+// Shared key pools.
+//
+// RSA key generation is expensive; experiments with hundreds of nodes reuse
+// deterministically derived keys from a process-wide pool.
+
+var keyPool sync.Map // poolKey -> PrivateKey
+
+type poolKey struct {
+	suite string
+	seed  int64
+}
+
+// PooledKey returns the deterministic key for (suite, seed), generating and
+// caching it on first use.
+func PooledKey(s Suite, seed int64) (PrivateKey, error) {
+	k := poolKey{s.Name(), seed}
+	if v, ok := keyPool.Load(k); ok {
+		return v.(PrivateKey), nil
+	}
+	key, err := s.GenerateKey(seed)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := keyPool.LoadOrStore(k, key)
+	return actual.(PrivateKey), nil
+}
+
+// ---------------------------------------------------------------------------
+// Operation accounting (used by the evaluation harness for Figure 7).
+
+// Stats counts cryptographic operations performed by one node. All methods
+// are safe for concurrent use.
+type Stats struct {
+	Signs       atomic.Uint64
+	Verifies    atomic.Uint64
+	Hashes      atomic.Uint64
+	HashedBytes atomic.Uint64
+}
+
+// CountSign records one signature generation.
+func (s *Stats) CountSign() {
+	if s != nil {
+		s.Signs.Add(1)
+	}
+}
+
+// CountVerify records one signature verification.
+func (s *Stats) CountVerify() {
+	if s != nil {
+		s.Verifies.Add(1)
+	}
+}
+
+// CountHash records one hash computation over n bytes.
+func (s *Stats) CountHash(n int) {
+	if s != nil {
+		s.Hashes.Add(1)
+		s.HashedBytes.Add(uint64(n))
+	}
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Signs:       s.Signs.Load(),
+		Verifies:    s.Verifies.Load(),
+		Hashes:      s.Hashes.Load(),
+		HashedBytes: s.HashedBytes.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Signs       uint64
+	Verifies    uint64
+	Hashes      uint64
+	HashedBytes uint64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Signs:       a.Signs + b.Signs,
+		Verifies:    a.Verifies + b.Verifies,
+		Hashes:      a.Hashes + b.Hashes,
+		HashedBytes: a.HashedBytes + b.HashedBytes,
+	}
+}

@@ -1,0 +1,1054 @@
+package dlog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// supportKind discriminates why a fact holds.
+type supportKind uint8
+
+const (
+	supBase     supportKind = iota // inserted as a base tuple
+	supBelieved                    // believed from a remote node (+τ received)
+	supChoice                      // stored by a store rule or a maybe firing
+	supDerive                      // derived by a derive rule
+)
+
+// support is one reason a fact holds. A fact exists while it has at least
+// one support; each support corresponds to one derive vertex in the
+// provenance graph.
+type support struct {
+	kind   supportKind
+	rule   string
+	origin types.NodeID
+	body   []types.Tuple
+	since  types.Time
+	// noDeps marks supports whose lifetime is managed outside the generic
+	// dependency cascade: choice supports (persist until deleted) and
+	// aggregate-installed supports (managed by group recomputation).
+	noDeps bool
+}
+
+func (s support) key() string {
+	k := fmt.Sprintf("%d|%s|%s", s.kind, s.rule, s.origin)
+	for _, b := range s.body {
+		k += "|" + b.Key()
+	}
+	return k
+}
+
+// fact is one stored tuple plus its supports.
+type fact struct {
+	tuple    types.Tuple
+	outbound bool // location attribute names another node; shipped, not joined
+	supports map[string]support
+	appeared types.Time
+}
+
+func (f *fact) active() bool { return len(f.supports) > 0 }
+
+// dep records that a body fact is referenced by a support of a head fact.
+type dep struct {
+	headKey string
+	supKey  string
+}
+
+// aggMatch is one body match of an aggregation rule.
+type aggMatch struct {
+	id    string // identity: concatenated body fact keys
+	body  []types.Tuple
+	head  types.Tuple // head built from this witness's binding
+	group string
+	over  types.Value
+}
+
+// aggState tracks the materialized body matches of one aggregation rule.
+type aggState struct {
+	matches map[string]*aggMatch
+	byGroup map[string]map[string]bool
+	byFact  map[string]map[string]bool
+	// installed maps group -> head tuple key -> support keys currently
+	// installed for that group.
+	installed map[string]map[string][]string
+	headByKey map[string]types.Tuple
+}
+
+func newAggState() *aggState {
+	return &aggState{
+		matches:   make(map[string]*aggMatch),
+		byGroup:   make(map[string]map[string]bool),
+		byFact:    make(map[string]map[string]bool),
+		installed: make(map[string]map[string][]string),
+		headByKey: make(map[string]types.Tuple),
+	}
+}
+
+// Machine is the deterministic dlog state machine for one node: the Ai of
+// Appendix A.2, with provenance-annotated outputs. It implements
+// types.Machine.
+type Machine struct {
+	prog *Program
+	self types.NodeID
+
+	facts map[string]*fact
+	byRel map[string]map[string]*fact
+	deps  map[string]map[dep]bool
+	aggs  map[int]*aggState // rule index -> state
+
+	seqs map[types.NodeID]uint64
+	now  types.Time
+	out  []types.Output
+	// collecting, when non-nil, buffers aggregated event-rule matches
+	// instead of firing them.
+	collecting *[]evMatch
+	// quiet suppresses outputs (used while rebuilding state from a
+	// checkpoint snapshot).
+	quiet bool
+}
+
+// NewMachine creates a machine for node self running prog.
+func NewMachine(prog *Program, self types.NodeID) *Machine {
+	m := &Machine{
+		prog:  prog,
+		self:  self,
+		facts: make(map[string]*fact),
+		byRel: make(map[string]map[string]*fact),
+		deps:  make(map[string]map[dep]bool),
+		aggs:  make(map[int]*aggState),
+		seqs:  make(map[types.NodeID]uint64),
+	}
+	for i, r := range prog.rules {
+		if r.Agg != nil {
+			m.aggs[i] = newAggState()
+		}
+	}
+	return m
+}
+
+// Factory returns a MachineFactory for prog.
+func Factory(prog *Program) types.MachineFactory {
+	return func(self types.NodeID) types.Machine { return NewMachine(prog, self) }
+}
+
+// Self returns the node this machine runs on.
+func (m *Machine) Self() types.NodeID { return m.self }
+
+// Step implements types.Machine.
+func (m *Machine) Step(ev types.Event) []types.Output {
+	m.now = ev.Time
+	m.out = nil
+	switch ev.Kind {
+	case types.EvIns:
+		if m.prog.IsEvent(ev.Tuple.Rel) {
+			// A transient event injected by the driver (e.g. a timer tick):
+			// it fires rules but is never stored.
+			m.matchEvent(ev.Tuple)
+			break
+		}
+		if ev.MaybeRule != "" {
+			m.addSupport(ev.Tuple, support{kind: supChoice, rule: ev.MaybeRule,
+				body: ev.MaybeBody, since: m.now, noDeps: true}, ev.Replaces)
+		} else {
+			m.addSupport(ev.Tuple, support{kind: supBase, since: m.now, noDeps: true}, ev.Replaces)
+		}
+	case types.EvDel:
+		if m.prog.IsEvent(ev.Tuple.Rel) {
+			break // the matching ins already fired the rules
+		}
+		m.removeStoredSupports(ev.Tuple)
+	case types.EvRcv:
+		msg := ev.Msg
+		switch msg.Pol {
+		case types.PolAppear:
+			m.addSupport(msg.Tuple, support{kind: supBelieved, origin: msg.Src,
+				since: m.now, noDeps: true}, nil)
+		case types.PolDisappear:
+			m.removeSupport(msg.Tuple.Key(), support{kind: supBelieved, origin: msg.Src}.key(), "", nil)
+		case types.PolBoth:
+			// Believed transient event: fires rules, never stored.
+			m.matchEvent(msg.Tuple)
+		}
+	}
+	outs := m.out
+	m.out = nil
+	return outs
+}
+
+// emit appends an output unless the machine is rebuilding quietly.
+func (m *Machine) emit(o types.Output) {
+	if !m.quiet {
+		m.out = append(m.out, o)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fact and support maintenance.
+
+func (m *Machine) getFact(tup types.Tuple) *fact {
+	return m.facts[tup.Key()]
+}
+
+func (m *Machine) addSupport(tup types.Tuple, sup support, replaces []types.Tuple) {
+	// Store-rule replacement and maybe-rule replacement: retract the old
+	// facts first so their disappearance can justify this appearance.
+	for _, old := range replaces {
+		m.removeStoredSupportsVia(old, sup.rule, sup.body)
+	}
+
+	f := m.getFact(tup)
+	if f == nil {
+		f = &fact{
+			tuple:    tup,
+			outbound: tup.HasLoc() && tup.Loc() != m.self,
+			supports: make(map[string]support),
+		}
+		m.facts[tup.Key()] = f
+		rel := m.byRel[tup.Rel]
+		if rel == nil {
+			rel = make(map[string]*fact)
+			m.byRel[tup.Rel] = rel
+		}
+		rel[tup.Key()] = f
+	}
+	sk := sup.key()
+	if _, dup := f.supports[sk]; dup {
+		return // identical support already present
+	}
+	wasActive := f.active()
+	f.supports[sk] = sup
+	if !sup.noDeps {
+		for _, b := range sup.body {
+			bk := b.Key()
+			if m.deps[bk] == nil {
+				m.deps[bk] = make(map[dep]bool)
+			}
+			m.deps[bk][dep{tup.Key(), sk}] = true
+		}
+	}
+	// Believed facts produce no derive output: the GCA represents them with
+	// believe vertices created from the rcv event itself.
+	if sup.kind == supDerive || sup.kind == supChoice {
+		m.emit(types.Output{Kind: types.OutDerive, Tuple: tup, Rule: sup.rule,
+			Body: sup.body, First: !wasActive && sup.kind == supDerive, Replaces: replaces})
+	}
+	if !wasActive {
+		f.appeared = m.now
+		m.activate(f, sup)
+	}
+}
+
+// activate runs the consequences of a fact coming into existence: shipping
+// (outbound facts) or local rule matching.
+func (m *Machine) activate(f *fact, via support) {
+	_ = via
+	if f.outbound {
+		m.send(f.tuple, types.PolAppear)
+		return
+	}
+	m.matchPersistent(f.tuple)
+}
+
+func (m *Machine) send(tup types.Tuple, pol types.Polarity) {
+	dst := tup.Loc()
+	m.seqs[dst]++
+	m.emit(types.Output{Kind: types.OutSend, Msg: &types.Message{
+		Src: m.self, Dst: dst, Pol: pol, Tuple: tup, SendTime: m.now, Seq: m.seqs[dst],
+	}})
+}
+
+// removeStoredSupports removes all base and choice supports of tup (an
+// EvDel, which only applies to stored facts).
+func (m *Machine) removeStoredSupports(tup types.Tuple) {
+	m.removeStoredSupportsVia(tup, "", nil)
+}
+
+func (m *Machine) removeStoredSupportsVia(tup types.Tuple, rule string, body []types.Tuple) {
+	f := m.getFact(tup)
+	if f == nil {
+		return
+	}
+	for _, sk := range sortedKeys(f.supports) {
+		s := f.supports[sk]
+		if s.kind == supBase || s.kind == supChoice {
+			m.removeSupport(tup.Key(), sk, rule, body)
+		}
+	}
+}
+
+// removeSupport removes one support; if attributedRule is non-empty the
+// underive output is attributed to it (e.g. a delete rule firing) instead
+// of the support's own rule.
+func (m *Machine) removeSupport(factKey, supKey, attributedRule string, attributedBody []types.Tuple) {
+	f := m.facts[factKey]
+	if f == nil {
+		return
+	}
+	sup, ok := f.supports[supKey]
+	if !ok {
+		return
+	}
+	delete(f.supports, supKey)
+	if !sup.noDeps {
+		for _, b := range sup.body {
+			delete(m.deps[b.Key()], dep{factKey, supKey})
+		}
+	}
+	last := !f.active()
+	rule, body := sup.rule, sup.body
+	if attributedRule != "" {
+		rule, body = attributedRule, attributedBody
+	}
+	if sup.kind == supDerive || sup.kind == supChoice {
+		m.emit(types.Output{Kind: types.OutUnderive, Tuple: f.tuple, Rule: rule,
+			Body: body, Last: last})
+	}
+	if last {
+		m.deactivate(f)
+	}
+}
+
+func (m *Machine) deactivate(f *fact) {
+	key := f.tuple.Key()
+	delete(m.facts, key)
+	delete(m.byRel[f.tuple.Rel], key)
+	if f.outbound {
+		m.send(f.tuple, types.PolDisappear)
+		return
+	}
+	// Cascade: every support that referenced this fact dies.
+	for _, d := range sortedDeps(m.deps[key]) {
+		m.removeSupport(d.headKey, d.supKey, "", nil)
+	}
+	delete(m.deps, key)
+	// Aggregation rules lose the matches that used this fact.
+	m.aggFactRemoved(key)
+}
+
+// ---------------------------------------------------------------------------
+// Rule matching.
+
+// matchPersistent fires all rules that can be triggered by the appearance
+// of a persistent fact. Rules with an event atom cannot fire from a
+// persistent delta (the event side can never be satisfied from the store).
+func (m *Machine) matchPersistent(tup types.Tuple) {
+	for ri, r := range m.prog.rules {
+		if r.eventAtom >= 0 {
+			continue
+		}
+		for pos, atom := range r.Body {
+			if atom.Rel != tup.Rel {
+				continue
+			}
+			m.joinFrom(ri, r, pos, tup)
+		}
+	}
+}
+
+// matchEvent fires all rules whose event atom matches the transient tuple.
+func (m *Machine) matchEvent(tup types.Tuple) {
+	for ri, r := range m.prog.rules {
+		if r.eventAtom < 0 || r.Body[r.eventAtom].Rel != tup.Rel {
+			continue
+		}
+		if r.Action == ActEvent && r.Agg != nil {
+			// Aggregated event rule: all matches of this one event firing
+			// are collected, then the aggregate winner fires (used for
+			// closest-preceding-finger routing in Chord).
+			saved := m.collecting
+			var buf []evMatch
+			m.collecting = &buf
+			m.joinFrom(ri, r, r.eventAtom, tup)
+			m.collecting = saved
+			m.fireEventAgg(r, buf)
+			continue
+		}
+		m.joinFrom(ri, r, r.eventAtom, tup)
+	}
+}
+
+// evMatch is one buffered match of an aggregated event rule.
+type evMatch struct {
+	head  types.Tuple
+	group string
+	over  types.Value
+	body  []types.Tuple
+}
+
+// fireEventAgg fires the aggregate winner of each group, breaking ties by
+// head key then body identity so the choice is deterministic.
+func (m *Machine) fireEventAgg(r *compiledRule, matches []evMatch) {
+	groups := map[string][]evMatch{}
+	var order []string
+	for _, em := range matches {
+		if _, ok := groups[em.group]; !ok {
+			order = append(order, em.group)
+		}
+		groups[em.group] = append(groups[em.group], em)
+	}
+	sort.Strings(order)
+	for _, g := range order {
+		ms := groups[g]
+		best := ms[0]
+		for _, em := range ms[1:] {
+			better := (r.Agg.Fn == AggMin && em.over.Less(best.over)) ||
+				(r.Agg.Fn == AggMax && best.over.Less(em.over))
+			tie := em.over == best.over && em.head.Key() < best.head.Key()
+			if better || tie {
+				best = em
+			}
+		}
+		m.fireEvent(best.head, r.Name, best.body)
+	}
+}
+
+// joinFrom seeds the join with tup bound at body position pos and extends
+// it across the remaining atoms, firing the rule for every complete match.
+func (m *Machine) joinFrom(ri int, r *compiledRule, pos int, tup types.Tuple) {
+	binding := map[string]types.Value{}
+	if !unify(r.Body[pos], tup, binding) {
+		return
+	}
+	matched := make([]types.Tuple, len(r.Body))
+	matched[pos] = tup
+	rest := make([]int, 0, len(r.bodyOrder))
+	for _, i := range r.bodyOrder {
+		if i != pos {
+			rest = append(rest, i)
+		}
+	}
+	m.joinRest(ri, r, rest, binding, matched)
+}
+
+func (m *Machine) joinRest(ri int, r *compiledRule, rest []int, binding map[string]types.Value, matched []types.Tuple) {
+	if len(rest) == 0 {
+		m.fire(ri, r, binding, matched)
+		return
+	}
+	pos, tail := rest[0], rest[1:]
+	atom := r.Body[pos]
+	for _, fk := range sortedFactKeys(m.byRel[atom.Rel]) {
+		f := m.byRel[atom.Rel][fk]
+		if f == nil || !f.active() || f.outbound {
+			continue
+		}
+		ext := copyBinding(binding)
+		if !unify(atom, f.tuple, ext) {
+			continue
+		}
+		matched[pos] = f.tuple
+		m.joinRest(ri, r, tail, ext, matched)
+		matched[pos] = types.Tuple{}
+	}
+}
+
+// fire applies assignments and conditions, then executes the rule action.
+func (m *Machine) fire(ri int, r *compiledRule, binding map[string]types.Value, matched []types.Tuple) {
+	for _, as := range r.Assigns {
+		args := evalTerms(as.Args, binding)
+		binding[as.Var] = m.prog.funcs[as.Fn](args)
+	}
+	for _, c := range r.Conds {
+		v := m.prog.funcs[c.Fn](evalTerms(c.Args, binding))
+		ok := v.Kind == types.KindInt && v.Int != 0
+		if c.Negate {
+			ok = !ok
+		}
+		if !ok {
+			return
+		}
+	}
+	body := append([]types.Tuple(nil), matched...)
+
+	if r.Agg != nil {
+		if r.Action == ActEvent {
+			*m.collecting = append(*m.collecting, evMatch{
+				head:  substitute(r.Head, binding),
+				group: groupKey(r.Agg, binding),
+				over:  binding[r.Agg.Over],
+				body:  body,
+			})
+			return
+		}
+		m.aggAddMatch(ri, r, binding, body)
+		return
+	}
+	head := substitute(r.Head, binding)
+	switch r.Action {
+	case ActDerive:
+		m.addSupport(head, support{kind: supDerive, rule: r.Name, body: body, since: m.now}, nil)
+	case ActEvent:
+		m.fireEvent(head, r.Name, body)
+	case ActStore:
+		m.storeFact(r, head, body)
+	case ActDelete:
+		m.removeStoredSupportsVia(head, r.Name, body)
+	}
+}
+
+// fireEvent derives a transient event tuple: it appears, propagates (or is
+// shipped as a one-shot PolBoth message), and immediately disappears.
+func (m *Machine) fireEvent(head types.Tuple, rule string, body []types.Tuple) {
+	m.emit(types.Output{Kind: types.OutDerive, Tuple: head, Rule: rule, Body: body, First: true})
+	if head.HasLoc() && head.Loc() != m.self {
+		dst := head.Loc()
+		m.seqs[dst]++
+		m.emit(types.Output{Kind: types.OutSend, Msg: &types.Message{
+			Src: m.self, Dst: dst, Pol: types.PolBoth, Tuple: head, SendTime: m.now, Seq: m.seqs[dst],
+		}})
+	} else {
+		m.matchEvent(head)
+	}
+	m.emit(types.Output{Kind: types.OutUnderive, Tuple: head, Rule: rule, Body: body, Last: true})
+}
+
+// storeFact persists head with a choice support, honoring ReplaceKey.
+func (m *Machine) storeFact(r *compiledRule, head types.Tuple, body []types.Tuple) {
+	var replaces []types.Tuple
+	if r.ReplaceKey > 0 {
+		for _, fk := range sortedFactKeys(m.byRel[head.Rel]) {
+			f := m.byRel[head.Rel][fk]
+			if f == nil || !f.active() || f.tuple.Equal(head) {
+				continue
+			}
+			if samePrefix(f.tuple, head, r.ReplaceKey) {
+				replaces = append(replaces, f.tuple)
+			}
+		}
+	}
+	m.addSupport(head, support{kind: supChoice, rule: r.Name, body: body,
+		since: m.now, noDeps: true}, replaces)
+}
+
+func samePrefix(a, b types.Tuple, n int) bool {
+	if len(a.Args) < n || len(b.Args) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+
+func groupKey(agg *Agg, binding map[string]types.Value) string {
+	k := ""
+	for _, g := range agg.GroupBy {
+		k += binding[g].String() + "|"
+	}
+	return k
+}
+
+func (m *Machine) aggAddMatch(ri int, r *compiledRule, binding map[string]types.Value, body []types.Tuple) {
+	st := m.aggs[ri]
+	id := ""
+	for _, b := range body {
+		id += b.Key() + ";"
+	}
+	if _, ok := st.matches[id]; ok {
+		return
+	}
+	am := &aggMatch{
+		id:    id,
+		body:  body,
+		group: groupKey(r.Agg, binding),
+		over:  binding[r.Agg.Over],
+	}
+	if r.Agg.Fn != AggCount {
+		am.head = substitute(r.Head, binding)
+	} else {
+		am.head = substituteCount(r.Head, binding, r.Agg.Over, 0) // placeholder; count filled at recompute
+	}
+	st.matches[id] = am
+	if st.byGroup[am.group] == nil {
+		st.byGroup[am.group] = make(map[string]bool)
+	}
+	st.byGroup[am.group][id] = true
+	for _, b := range body {
+		bk := b.Key()
+		if st.byFact[bk] == nil {
+			st.byFact[bk] = make(map[string]bool)
+		}
+		st.byFact[bk][id] = true
+	}
+	m.aggRecompute(ri, r, am.group)
+}
+
+func (m *Machine) aggFactRemoved(factKey string) {
+	for ri, r := range m.prog.rules {
+		if r.Agg == nil {
+			continue
+		}
+		st := m.aggs[ri]
+		ids := st.byFact[factKey]
+		if len(ids) == 0 {
+			continue
+		}
+		dirty := map[string]bool{}
+		for _, id := range sortedBoolKeys(ids) {
+			am := st.matches[id]
+			delete(st.matches, id)
+			delete(st.byGroup[am.group], id)
+			for _, b := range am.body {
+				delete(st.byFact[b.Key()], id)
+			}
+			dirty[am.group] = true
+		}
+		delete(st.byFact, factKey)
+		for _, g := range sortedBoolKeys(dirty) {
+			m.aggRecompute(ri, r, g)
+		}
+	}
+}
+
+// aggRecompute rebuilds the derived head facts for one group and installs
+// the support diff (removals first, then additions, so that a changed
+// aggregate value retracts the stale head before asserting the new one).
+func (m *Machine) aggRecompute(ri int, r *compiledRule, group string) {
+	st := m.aggs[ri]
+	ids := sortedBoolKeys(st.byGroup[group])
+
+	// Desired state: head tuple key -> support key -> support.
+	desired := map[string]map[string]support{}
+	heads := map[string]types.Tuple{}
+	if len(ids) > 0 {
+		switch r.Agg.Fn {
+		case AggMin, AggMax:
+			best := st.matches[ids[0]].over
+			for _, id := range ids[1:] {
+				v := st.matches[id].over
+				if (r.Agg.Fn == AggMin && v.Less(best)) || (r.Agg.Fn == AggMax && best.Less(v)) {
+					best = v
+				}
+			}
+			for _, id := range ids {
+				am := st.matches[id]
+				if am.over != best {
+					continue
+				}
+				sup := support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true}
+				hk := am.head.Key()
+				if desired[hk] == nil {
+					desired[hk] = make(map[string]support)
+				}
+				desired[hk][sup.key()] = sup
+				heads[hk] = am.head
+			}
+		case AggCount:
+			n := int64(len(ids))
+			var head types.Tuple
+			for _, id := range ids {
+				am := st.matches[id]
+				head = substituteCountTuple(am.head, r, n)
+				sup := support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true}
+				hk := head.Key()
+				if desired[hk] == nil {
+					desired[hk] = make(map[string]support)
+				}
+				desired[hk][sup.key()] = sup
+				heads[hk] = head
+			}
+		}
+	}
+
+	current := st.installed[group]
+	// Removals first.
+	for _, hk := range sortedStringListKeys(current) {
+		for _, sk := range current[hk] {
+			if desired[hk] == nil || !hasKey(desired[hk], sk) {
+				m.removeSupport(hk, sk, "", nil)
+			}
+		}
+	}
+	// Then additions.
+	newInstalled := map[string][]string{}
+	for _, hk := range sortedSupKeys(desired) {
+		for _, sk := range sortedSupportKeys(desired[hk]) {
+			sup := desired[hk][sk]
+			already := false
+			for _, cur := range current[hk] {
+				if cur == sk {
+					already = true
+					break
+				}
+			}
+			if !already {
+				m.addSupport(heads[hk], sup, nil)
+			} else if f := m.facts[hk]; f != nil {
+				// Keep the original 'since'; nothing to do.
+				_ = f
+			}
+			newInstalled[hk] = append(newInstalled[hk], sk)
+		}
+	}
+	if len(newInstalled) == 0 {
+		delete(st.installed, group)
+	} else {
+		st.installed[group] = newInstalled
+	}
+	for hk, tup := range heads {
+		st.headByKey[hk] = tup
+	}
+}
+
+// substituteCount builds a count-rule head with the count value substituted
+// for the Over variable.
+func substituteCount(head Atom, binding map[string]types.Value, over string, n int64) types.Tuple {
+	args := make([]types.Value, len(head.Terms))
+	for i, t := range head.Terms {
+		if t.IsVar {
+			if t.Var == over {
+				args[i] = types.I(n)
+			} else {
+				args[i] = binding[t.Var]
+			}
+		} else {
+			args[i] = t.Val
+		}
+	}
+	return types.MakeTuple(head.Rel, args...)
+}
+
+// substituteCountTuple rewrites the placeholder count in a previously built
+// head tuple. The Over variable's position is located from the rule head.
+func substituteCountTuple(head types.Tuple, r *compiledRule, n int64) types.Tuple {
+	args := append([]types.Value(nil), head.Args...)
+	for i, t := range r.Head.Terms {
+		if t.IsVar && t.Var == r.Agg.Over {
+			args[i] = types.I(n)
+		}
+	}
+	return types.MakeTuple(head.Rel, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Unification and substitution.
+
+func unify(atom Atom, tup types.Tuple, binding map[string]types.Value) bool {
+	if atom.Rel != tup.Rel || len(atom.Terms) != len(tup.Args) {
+		return false
+	}
+	for i, t := range atom.Terms {
+		if t.IsVar {
+			if v, ok := binding[t.Var]; ok {
+				if v != tup.Args[i] {
+					return false
+				}
+			} else {
+				binding[t.Var] = tup.Args[i]
+			}
+		} else if t.Val != tup.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func substitute(head Atom, binding map[string]types.Value) types.Tuple {
+	args := make([]types.Value, len(head.Terms))
+	for i, t := range head.Terms {
+		if t.IsVar {
+			args[i] = binding[t.Var]
+		} else {
+			args[i] = t.Val
+		}
+	}
+	return types.MakeTuple(head.Rel, args...)
+}
+
+func evalTerms(terms []Term, binding map[string]types.Value) []types.Value {
+	out := make([]types.Value, len(terms))
+	for i, t := range terms {
+		if t.IsVar {
+			out[i] = binding[t.Var]
+		} else {
+			out[i] = t.Val
+		}
+	}
+	return out
+}
+
+func copyBinding(b map[string]types.Value) map[string]types.Value {
+	c := make(map[string]types.Value, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Introspection (used by checkpoints and the graph seeder).
+
+// DumpExtants implements types.StateDumper: the stored facts in
+// deterministic order, for checkpointing and replay seeding.
+func (m *Machine) DumpExtants() []types.ExtantTuple {
+	keys := make([]string, 0, len(m.facts))
+	for k := range m.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]types.ExtantTuple, 0, len(keys))
+	for _, k := range keys {
+		f := m.facts[k]
+		e := types.ExtantTuple{Tuple: f.tuple, Appeared: f.appeared}
+		for _, sk := range sortedKeys(f.supports) {
+			s := f.supports[sk]
+			if s.kind == supBelieved {
+				e.Believed = append(e.Believed, types.Belief{Origin: s.origin, Since: s.since})
+			} else {
+				e.Local = true
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Lookup reports whether a tuple is currently stored and active.
+func (m *Machine) Lookup(tup types.Tuple) bool {
+	f := m.getFact(tup)
+	return f != nil && f.active()
+}
+
+// TuplesOf returns the active, non-outbound tuples of one relation.
+func (m *Machine) TuplesOf(rel string) []types.Tuple {
+	var out []types.Tuple
+	for _, fk := range sortedFactKeys(m.byRel[rel]) {
+		f := m.byRel[rel][fk]
+		if f != nil && f.active() && !f.outbound {
+			out = append(out, f.tuple)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / Restore (types.Machine).
+
+// Snapshot implements types.Machine: a canonical encoding of every stored
+// fact with its supports, plus the per-destination sequence counters.
+func (m *Machine) Snapshot() []byte {
+	w := wire.NewWriter(1024)
+	dsts := make([]string, 0, len(m.seqs))
+	for d := range m.seqs {
+		dsts = append(dsts, string(d))
+	}
+	sort.Strings(dsts)
+	w.Uint(uint64(len(dsts)))
+	for _, d := range dsts {
+		w.String(d)
+		w.Uint(m.seqs[types.NodeID(d)])
+	}
+	keys := make([]string, 0, len(m.facts))
+	for k := range m.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		f := m.facts[k]
+		f.tuple.MarshalWire(w)
+		w.Int(int64(f.appeared))
+		sks := sortedKeys(f.supports)
+		w.Uint(uint64(len(sks)))
+		for _, sk := range sks {
+			s := f.supports[sk]
+			w.Byte(byte(s.kind))
+			w.String(s.rule)
+			w.String(string(s.origin))
+			w.Int(int64(s.since))
+			w.Bool(s.noDeps)
+			w.Uint(uint64(len(s.body)))
+			for _, b := range s.body {
+				b.MarshalWire(w)
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// Restore implements types.Machine.
+func (m *Machine) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	m.facts = make(map[string]*fact)
+	m.byRel = make(map[string]map[string]*fact)
+	m.deps = make(map[string]map[dep]bool)
+	m.seqs = make(map[types.NodeID]uint64)
+	for i := range m.prog.rules {
+		if m.prog.rules[i].Agg != nil {
+			m.aggs[i] = newAggState()
+		}
+	}
+	nd := r.Uint()
+	for i := uint64(0); i < nd; i++ {
+		d := r.String()
+		m.seqs[types.NodeID(d)] = r.Uint()
+	}
+	nf := r.Uint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := uint64(0); i < nf; i++ {
+		var tup types.Tuple
+		if err := tup.UnmarshalWire(r); err != nil {
+			return err
+		}
+		f := &fact{
+			tuple:    tup,
+			outbound: tup.HasLoc() && tup.Loc() != m.self,
+			supports: make(map[string]support),
+			appeared: types.Time(r.Int()),
+		}
+		ns := r.Uint()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := uint64(0); j < ns; j++ {
+			s := support{
+				kind:   supportKind(r.Byte()),
+				rule:   r.String(),
+				origin: types.NodeID(r.String()),
+				since:  types.Time(r.Int()),
+				noDeps: r.Bool(),
+			}
+			nb := r.Uint()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			for k := uint64(0); k < nb; k++ {
+				var b types.Tuple
+				if err := b.UnmarshalWire(r); err != nil {
+					return err
+				}
+				s.body = append(s.body, b)
+			}
+			sk := s.key()
+			f.supports[sk] = s
+			if !s.noDeps {
+				for _, b := range s.body {
+					bk := b.Key()
+					if m.deps[bk] == nil {
+						m.deps[bk] = make(map[dep]bool)
+					}
+					m.deps[bk][dep{tup.Key(), sk}] = true
+				}
+			}
+		}
+		m.facts[tup.Key()] = f
+		if m.byRel[tup.Rel] == nil {
+			m.byRel[tup.Rel] = make(map[string]*fact)
+		}
+		m.byRel[tup.Rel][tup.Key()] = f
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	m.rebuildAgg()
+	return nil
+}
+
+// rebuildAgg reconstructs aggregate match state by re-joining every
+// aggregation rule over the restored store, quietly (no outputs).
+func (m *Machine) rebuildAgg() {
+	m.quiet = true
+	defer func() { m.quiet = false }()
+	for ri, r := range m.prog.rules {
+		if r.Agg == nil {
+			continue
+		}
+		m.aggs[ri] = newAggState()
+		// Re-seed from every active fact of the first body relation.
+		first := r.bodyOrder[0]
+		atom := r.Body[first]
+		for _, fk := range sortedFactKeys(m.byRel[atom.Rel]) {
+			f := m.byRel[atom.Rel][fk]
+			if f == nil || !f.active() || f.outbound {
+				continue
+			}
+			m.joinFrom(ri, r, first, f.tuple)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic iteration helpers.
+
+func sortedKeys(m map[string]support) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedFactKeys(m map[string]*fact) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedDeps(m map[dep]bool) []dep {
+	out := make([]dep, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].headKey != out[j].headKey {
+			return out[i].headKey < out[j].headKey
+		}
+		return out[i].supKey < out[j].supKey
+	})
+	return out
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStringListKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSupKeys(m map[string]map[string]support) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSupportKeys(m map[string]support) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasKey(m map[string]support, k string) bool {
+	_, ok := m[k]
+	return ok
+}

@@ -1,0 +1,584 @@
+// Package eval implements the paper's evaluation (§7): the five application
+// configurations (Quagga, Chord-Small/Large, Hadoop-Small/Large) and the
+// harnesses that regenerate every figure — network traffic (Fig. 5), log
+// growth (Fig. 6), CPU cost (Fig. 7), query performance (Fig. 8), and Chord
+// scalability (Fig. 9) — plus the §5.6 batching ablation.
+//
+// Absolute numbers differ from the paper (different substrate, different
+// hardware, scaled-down workloads); the harness exists to reproduce the
+// *shape* of each result. Scale factors let callers trade fidelity for run
+// time.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/bgp"
+	"repro/internal/apps/chord"
+	"repro/internal/apps/mapreduce"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/provgraph"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Scale shrinks the workloads uniformly: 1.0 is the paper-sized experiment
+// (15 minutes, 15,000 updates, 50/250 Chord nodes); the default used by
+// tests and benches is much smaller.
+type Scale float64
+
+// dur scales a duration with a floor.
+func (s Scale) dur(d types.Time) types.Time {
+	v := types.Time(float64(d) * float64(s))
+	if v < 10*types.Second {
+		v = 10 * types.Second
+	}
+	return v
+}
+
+func (s Scale) count(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// ConfigName identifies one of the five evaluation configurations (§7.1).
+type ConfigName string
+
+// The five configurations.
+const (
+	Quagga      ConfigName = "Quagga"
+	ChordSmall  ConfigName = "Chord-Small"
+	ChordLarge  ConfigName = "Chord-Large"
+	HadoopSmall ConfigName = "Hadoop-Small"
+	HadoopLarge ConfigName = "Hadoop-Large"
+)
+
+// AllConfigs lists the configurations in the paper's order.
+var AllConfigs = []ConfigName{Quagga, ChordSmall, ChordLarge, HadoopSmall, HadoopLarge}
+
+// RunResult captures everything a finished run exposes to the figure
+// harnesses.
+type RunResult struct {
+	Config   ConfigName
+	Net      *simnet.Net
+	Factory  types.MachineFactory
+	Duration types.Time
+	// BGP deployment (for queriers with the maybe validator), when relevant.
+	BGP    *bgp.Deployment
+	MR     *mapreduce.Deployment
+	Chord  []types.NodeID
+	RealMR bool
+}
+
+// NewQuerier builds a query session appropriate for the run's application.
+func (r *RunResult) NewQuerier() *core.Querier {
+	if r.BGP != nil {
+		return r.BGP.NewQuerier()
+	}
+	return r.Net.NewQuerier(r.Factory)
+}
+
+// Options tweaks a run.
+type Options struct {
+	Scale  Scale
+	Tbatch types.Time // 0 = no batching
+	Suite  cryptoutil.Suite
+	Seed   int64
+}
+
+func (o Options) normalize() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) simCfg() simnet.Config {
+	cfg := simnet.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Core.Tbatch = o.Tbatch
+	if o.Suite != nil {
+		cfg.Core.Suite = o.Suite
+	}
+	return cfg
+}
+
+// Run executes one configuration and returns its result.
+func Run(name ConfigName, o Options) (*RunResult, error) {
+	o = o.normalize()
+	switch name {
+	case Quagga:
+		return runQuagga(o)
+	case ChordSmall:
+		return runChord(o, 50)
+	case ChordLarge:
+		return runChord(o, 250)
+	case HadoopSmall:
+		return runHadoop(o, 20, 10, 8<<10)
+	case HadoopLarge:
+		return runHadoop(o, 60, 10, 16<<10)
+	default:
+		return nil, fmt.Errorf("eval: unknown config %q", name)
+	}
+}
+
+// runQuagga deploys the 10-network topology and injects a RouteViews-style
+// trace from the stub networks (§7.1: ~15,000 updates over 15 minutes).
+func runQuagga(o Options) (*RunResult, error) {
+	dur := o.Scale.dur(15 * types.Minute)
+	updates := o.Scale.count(15000)
+	net := simnet.New(o.simCfg())
+	d, err := bgp.Deploy(net, bgp.DefaultTopology(), types.Second, dur)
+	if err != nil {
+		return nil, err
+	}
+	stubs := []types.NodeID{"as51", "as52", "as53", "as61", "as62", "as63"}
+	trace := workload.BGPTrace(o.Seed, updates, len(stubs), 200)
+	for i, u := range trace {
+		u := u
+		at := types.Second + types.Time(int64(i))*(dur-5*types.Second)/types.Time(len(trace))
+		stub := stubs[u.Origin]
+		net.At(at, func() {
+			sp := d.Speakers[stub]
+			if u.Withdraw {
+				sp.Withdraw(net.Node(stub), u.Prefix)
+			} else {
+				sp.Announce(net.Node(stub), u.Prefix)
+			}
+		})
+	}
+	net.Run(dur)
+	return &RunResult{Config: Quagga, Net: net, Factory: bgp.Factory(),
+		Duration: dur, BGP: d}, nil
+}
+
+func runChord(o Options, n int) (*RunResult, error) {
+	name := ChordSmall
+	if n > 50 {
+		name = ChordLarge
+	}
+	p := chord.DefaultParams(n)
+	p.Duration = o.Scale.dur(15 * types.Minute)
+	p.Lookups = o.Scale.count(2 * n)
+	cfg := o.simCfg()
+	net := simnet.New(cfg)
+	names, err := chord.Deploy(net, p)
+	if err != nil {
+		return nil, err
+	}
+	net.Run(p.Duration)
+	return &RunResult{Config: name, Net: net, Factory: chord.Factory(),
+		Duration: p.Duration, Chord: names}, nil
+}
+
+func runHadoop(o Options, mappers, reducers, bytesPerSplit int) (*RunResult, error) {
+	name := HadoopSmall
+	if mappers > 20 {
+		name = HadoopLarge
+	}
+	cfg := o.simCfg()
+	if cfg.Core.Tbatch == 0 {
+		// The paper's Hadoop instrumentation sends one message per
+		// (map, reduce) pair; batching reproduces that envelope shape.
+		cfg.Core.Tbatch = 100 * types.Millisecond
+	}
+	net := simnet.New(cfg)
+	splits := workload.Corpus(o.Seed, mappers, bytesPerSplit)
+	dur := 60 * types.Second
+	d, err := mapreduce.Deploy(net, mapreduce.Job{
+		Mappers: mappers, Reducers: reducers, Splits: splits,
+		StartAt: types.Second, ReduceAt: 30 * types.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net.Run(dur)
+	return &RunResult{Config: name, Net: net, Factory: d.Factory(),
+		Duration: dur, MR: d}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: network traffic, normalized to the baseline.
+
+// Fig5Row is one bar of Figure 5.
+type Fig5Row struct {
+	Config          ConfigName
+	BaselineBytes   int64
+	ProvenanceBytes int64
+	AuthBytes       int64
+	AckBytes        int64
+	Messages        int64
+	Envelopes       int64
+	// Factor is SNP traffic divided by baseline traffic.
+	Factor float64
+}
+
+func (r Fig5Row) String() string {
+	return fmt.Sprintf("%-13s baseline=%8dB prov=%8dB auth=%8dB ack=%8dB msgs=%7d factor=%.2fx",
+		r.Config, r.BaselineBytes, r.ProvenanceBytes, r.AuthBytes, r.AckBytes, r.Messages, r.Factor)
+}
+
+// Figure5 measures one configuration's traffic breakdown.
+func Figure5(res *RunResult) Fig5Row {
+	t := res.Net.Traffic
+	row := Fig5Row{
+		Config:          res.Config,
+		BaselineBytes:   t.BaselineBytes,
+		ProvenanceBytes: t.ProvenanceBytes,
+		AuthBytes:       t.AuthBytes,
+		AckBytes:        t.AckBytes,
+		Messages:        t.Messages,
+		Envelopes:       t.Envelopes,
+	}
+	if t.BaselineBytes > 0 {
+		row.Factor = float64(t.TotalBytes()) / float64(t.BaselineBytes)
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: per-node log growth.
+
+// Fig6Row is one bar of Figure 6.
+type Fig6Row struct {
+	Config     ConfigName
+	Nodes      int
+	MBPerMin   float64 // per node, excluding checkpoints (as in the paper)
+	CkptBytes  int64
+	TotalBytes int64
+	Entries    uint64
+}
+
+func (r Fig6Row) String() string {
+	return fmt.Sprintf("%-13s nodes=%3d log=%.4f MB/min/node ckpt=%dB entries=%d",
+		r.Config, r.Nodes, r.MBPerMin, r.CkptBytes, r.Entries)
+}
+
+// Figure6 measures per-node log growth.
+func Figure6(res *RunResult) Fig6Row {
+	s := res.Net.LogStats()
+	row := Fig6Row{Config: res.Config, Nodes: s.Nodes,
+		CkptBytes: s.CkptBytes, TotalBytes: s.GrossBytes, Entries: s.Entries}
+	minutes := res.Duration.Seconds() / 60
+	if s.Nodes > 0 && minutes > 0 {
+		row.MBPerMin = float64(s.GrossBytes-s.CkptBytes) / (1 << 20) / float64(s.Nodes) / minutes
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: additional CPU load from crypto.
+
+// CryptoCosts holds measured per-operation costs.
+type CryptoCosts struct {
+	Sign    time.Duration
+	Verify  time.Duration
+	HashKiB time.Duration // per KiB hashed
+}
+
+// MeasureCryptoCosts times the suite's operations (the §7.6 methodology:
+// multiply operation counts by measured unit costs).
+func MeasureCryptoCosts(suite cryptoutil.Suite) (CryptoCosts, error) {
+	key, err := cryptoutil.PooledKey(suite, 999)
+	if err != nil {
+		return CryptoCosts{}, err
+	}
+	msg := make([]byte, 64)
+	const iters = 20
+	start := time.Now()
+	var sig []byte
+	for i := 0; i < iters; i++ {
+		sig, _ = key.Sign(msg)
+	}
+	costs := CryptoCosts{Sign: time.Since(start) / iters}
+	pub := key.Public()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		pub.Verify(msg, sig)
+	}
+	costs.Verify = time.Since(start) / iters
+	buf := make([]byte, 1024)
+	start = time.Now()
+	for i := 0; i < 200; i++ {
+		suite.Hash(buf)
+	}
+	costs.HashKiB = time.Since(start) / 200
+	return costs, nil
+}
+
+// Fig7Row is one bar of Figure 7.
+type Fig7Row struct {
+	Config     ConfigName
+	Signs      uint64
+	Verifies   uint64
+	Hashes     uint64
+	HashedKiB  uint64
+	SignPct    float64 // % of one core over the run
+	VerifyPct  float64
+	HashPct    float64
+	TotalPct   float64
+	PerNodePct float64
+}
+
+func (r Fig7Row) String() string {
+	return fmt.Sprintf("%-13s sign=%.3f%% verify=%.3f%% hash=%.3f%% total=%.3f%%/node (ops: %d/%d/%d)",
+		r.Config, r.SignPct, r.VerifyPct, r.HashPct, r.PerNodePct, r.Signs, r.Verifies, r.Hashes)
+}
+
+// Figure7 converts operation counts into estimated CPU load.
+func Figure7(res *RunResult, costs CryptoCosts) Fig7Row {
+	snap := res.Net.CryptoStats()
+	row := Fig7Row{Config: res.Config, Signs: snap.Signs, Verifies: snap.Verifies,
+		Hashes: snap.Hashes, HashedKiB: snap.HashedBytes / 1024}
+	wall := res.Duration.Seconds()
+	if wall <= 0 {
+		return row
+	}
+	row.SignPct = float64(snap.Signs) * costs.Sign.Seconds() / wall * 100
+	row.VerifyPct = float64(snap.Verifies) * costs.Verify.Seconds() / wall * 100
+	row.HashPct = float64(snap.HashedBytes) / 1024 * costs.HashKiB.Seconds() / wall * 100
+	row.TotalPct = row.SignPct + row.VerifyPct + row.HashPct
+	nodes := len(res.Net.Nodes())
+	if nodes > 0 {
+		row.PerNodePct = row.TotalPct / float64(nodes)
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: query turnaround and downloads.
+
+// DownloadMbps is the assumed querier downlink (the paper estimates
+// turnaround at 10 Mbps).
+const DownloadMbps = 10.0
+
+// Fig8Row is one query of Figure 8.
+type Fig8Row struct {
+	Query        string
+	LogBytes     int64
+	AuthBytes    int64
+	CkptBytes    int64
+	ReplayTime   time.Duration
+	VerifyTime   time.Duration
+	DownloadTime time.Duration
+	Turnaround   time.Duration
+	Answer       int // explanation vertices
+	Red          int
+}
+
+func (r Fig8Row) String() string {
+	return fmt.Sprintf("%-18s dl=%8dB (logs %d / auth %d / ckpt %d)  replay=%v verify=%v est-turnaround=%v answer=%d red=%d",
+		r.Query, r.LogBytes+r.AuthBytes+r.CkptBytes, r.LogBytes, r.AuthBytes, r.CkptBytes,
+		r.ReplayTime.Round(time.Millisecond), r.VerifyTime.Round(time.Millisecond),
+		r.Turnaround.Round(time.Millisecond), r.Answer, r.Red)
+}
+
+func fig8Row(name string, q *core.Querier, expl *core.Explanation) Fig8Row {
+	m := q.Metrics
+	row := Fig8Row{
+		Query: name, LogBytes: m.LogBytes, AuthBytes: m.AuthBytes, CkptBytes: m.CkptBytes,
+		ReplayTime: m.ReplayTime, VerifyTime: m.VerifyTime,
+	}
+	bits := float64(m.TotalBytes()) * 8
+	row.DownloadTime = time.Duration(bits / (DownloadMbps * 1e6) * float64(time.Second))
+	row.Turnaround = row.DownloadTime + row.ReplayTime + row.VerifyTime
+	if expl != nil {
+		row.Answer = expl.Size()
+		row.Red = len(expl.FindColor(provgraph.Red))
+	}
+	return row
+}
+
+// QuaggaDisappearQuery runs the §7.2 Quagga-Disappear query on a finished
+// Quagga run: why did some stub's route disappear?
+func QuaggaDisappearQuery(res *RunResult) (Fig8Row, error) {
+	q := res.NewQuerier()
+	// Find a withdrawn route at a stub: audit the stub first.
+	target := types.NodeID("as52")
+	if err := q.EnsureAudited(target, 0); err != nil {
+		return Fig8Row{}, err
+	}
+	q.Auditor.Finalize()
+	var gone types.Tuple
+	for _, v := range q.Auditor.Graph().ByHost(target) {
+		if v.Type == provgraph.VBelieveDisappear && v.Tuple.Rel == "advRoute" {
+			gone = v.Tuple
+			break
+		}
+	}
+	if gone.Rel == "" {
+		return Fig8Row{}, fmt.Errorf("eval: no disappeared route at %s", target)
+	}
+	expl, err := q.Explain(target, gone, core.QueryOpts{Mode: core.ModeDisappear, Scope: 12})
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return fig8Row("Quagga-Disappear", q, expl), nil
+}
+
+// QuaggaBadGadgetQuery asks for the provenance of a recently flapping
+// route (stands in for the BadGadget investigation on the trace-driven
+// run: any replaced route works the same way).
+func QuaggaBadGadgetQuery(res *RunResult) (Fig8Row, error) {
+	q := res.NewQuerier()
+	target := types.NodeID("as30")
+	if err := q.EnsureAudited(target, 0); err != nil {
+		return Fig8Row{}, err
+	}
+	q.Auditor.Finalize()
+	var route types.Tuple
+	for _, v := range q.Auditor.Graph().ByHost(target) {
+		if v.Type == provgraph.VBelieveAppear && v.Tuple.Rel == "advRoute" {
+			route = v.Tuple // keep the last: the most recent flap
+		}
+	}
+	if route.Rel == "" {
+		return Fig8Row{}, fmt.Errorf("eval: no route appearances at %s", target)
+	}
+	expl, err := q.Explain(target, route, core.QueryOpts{Mode: core.ModeAppear, Scope: 12})
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return fig8Row("Quagga-BadGadget", q, expl), nil
+}
+
+// ChordLookupQuery runs the §7.2 Chord-Lookup query: the provenance of one
+// stored lookup result.
+func ChordLookupQuery(res *RunResult) (Fig8Row, error) {
+	q := res.NewQuerier()
+	name := fmt.Sprintf("Chord-Lookup(%s)", res.Config)
+	for _, n := range res.Chord {
+		if err := q.EnsureAudited(n, 0); err != nil {
+			continue
+		}
+		q.Auditor.Finalize()
+		for _, v := range q.Auditor.Graph().ByHost(n) {
+			if v.Type == provgraph.VExist && v.Tuple.Rel == "result" && v.Open() {
+				expl, err := q.Explain(n, v.Tuple, core.QueryOpts{Scope: 16})
+				if err != nil {
+					return Fig8Row{}, err
+				}
+				return fig8Row(name, q, expl), nil
+			}
+		}
+	}
+	return Fig8Row{}, fmt.Errorf("eval: no lookup results found")
+}
+
+// HadoopSquirrelQuery runs the §7.2 Hadoop-Squirrel query: the provenance
+// of one output pair.
+func HadoopSquirrelQuery(res *RunResult) (Fig8Row, error) {
+	q := res.NewQuerier()
+	owner := res.MR.OutputOwner("squirrel")
+	if err := q.EnsureAudited(owner, 0); err != nil {
+		return Fig8Row{}, err
+	}
+	q.Auditor.Finalize()
+	var out types.Tuple
+	for _, v := range q.Auditor.Graph().ByHost(owner) {
+		if v.Type == provgraph.VExist && v.Tuple.Rel == "out" && v.Tuple.Args[1].Str == "squirrel" {
+			out = v.Tuple
+		}
+	}
+	if out.Rel == "" {
+		return Fig8Row{}, fmt.Errorf("eval: no squirrel output on %s", owner)
+	}
+	expl, err := q.Explain(owner, out, core.QueryOpts{})
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return fig8Row(fmt.Sprintf("Hadoop-Squirrel(%s)", res.Config), q, expl), nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: Chord scalability.
+
+// Fig9Row is one point of Figure 9.
+type Fig9Row struct {
+	N               int
+	SNPBytesPerSec  float64 // per node
+	BaseBytesPerSec float64
+	LogKBPerMin     float64 // per node
+}
+
+func (r Fig9Row) String() string {
+	return fmt.Sprintf("N=%3d  traffic=%8.1f B/s/node (baseline %8.1f)  log=%7.2f kB/min/node",
+		r.N, r.SNPBytesPerSec, r.BaseBytesPerSec, r.LogKBPerMin)
+}
+
+// Figure9 runs Chord at the given sizes and reports per-node traffic and
+// log growth.
+func Figure9(sizes []int, o Options) ([]Fig9Row, error) {
+	o = o.normalize()
+	rows := make([]Fig9Row, 0, len(sizes))
+	for _, n := range sizes {
+		res, err := runChord(o, n)
+		if err != nil {
+			return nil, err
+		}
+		secs := res.Duration.Seconds()
+		t := res.Net.Traffic
+		s := res.Net.LogStats()
+		row := Fig9Row{N: n}
+		row.SNPBytesPerSec = float64(t.TotalBytes()) / secs / float64(n)
+		row.BaseBytesPerSec = float64(t.BaselineBytes) / secs / float64(n)
+		row.LogKBPerMin = float64(s.GrossBytes-s.CkptBytes) / 1024 / (secs / 60) / float64(n)
+		// Chord-Large and Chord-Small share config names; override by size.
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batching ablation (§5.6 / §7.4 / §7.6).
+
+// BatchRow compares one configuration with and without Tbatch.
+type BatchRow struct {
+	Tbatch        types.Time
+	Envelopes     int64
+	Messages      int64
+	Signs         uint64
+	TrafficFactor float64
+}
+
+func (r BatchRow) String() string {
+	return fmt.Sprintf("Tbatch=%-8v envelopes=%7d msgs=%7d signs=%7d factor=%.2fx",
+		r.Tbatch, r.Envelopes, r.Messages, r.Signs, r.TrafficFactor)
+}
+
+// BatchingAblation runs Quagga with and without message batching.
+func BatchingAblation(o Options) (without, with BatchRow, err error) {
+	o = o.normalize()
+	res1, err := runQuagga(o)
+	if err != nil {
+		return without, with, err
+	}
+	without = batchRow(res1, 0)
+	o2 := o
+	o2.Tbatch = 100 * types.Millisecond
+	res2, err := runQuagga(o2)
+	if err != nil {
+		return without, with, err
+	}
+	with = batchRow(res2, o2.Tbatch)
+	return without, with, nil
+}
+
+func batchRow(res *RunResult, tb types.Time) BatchRow {
+	t := res.Net.Traffic
+	snap := res.Net.CryptoStats()
+	row := BatchRow{Tbatch: tb, Envelopes: t.Envelopes, Messages: t.Messages, Signs: snap.Signs}
+	if t.BaselineBytes > 0 {
+		row.TrafficFactor = float64(t.TotalBytes()) / float64(t.BaselineBytes)
+	}
+	return row
+}

@@ -1,0 +1,552 @@
+package provgraph
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Builder runs the graph-construction algorithm of Appendix B (Figures
+// 10–11) over a history of events, replaying each node's deterministic
+// state machine and translating events and machine outputs into provenance
+// vertices and edges.
+//
+// The Builder maintains the four bookkeeping sets of the pseudocode:
+//
+//	pending  — snd outputs produced by a machine but not yet seen in the
+//	           history (a leftover entry means the node suppressed a message)
+//	ackpend  — receive vertices whose acknowledgment has not been sent yet
+//	unacked  — send vertices whose acknowledgment has not been received yet
+//	nopreds  — send vertices with no incoming edge yet
+//
+// A Builder can process events from many nodes (building the global graph
+// G(e)) or from a single node (building the projection G|i; Theorem 2 says
+// they agree).
+type Builder struct {
+	G       *Graph
+	factory types.MachineFactory
+	tprop   types.Time
+
+	machines map[types.NodeID]types.Machine
+
+	// pending is keyed by full vertex identity (content included) so that
+	// a logged transmission only matches a machine output with identical
+	// payload; ackpend/unacked are keyed by message ID because
+	// acknowledgments reference messages by ID.
+	pending map[sendKey]*Vertex
+	ackpend map[pendKey]*Vertex
+	unacked map[pendKey]*Vertex
+	nopreds map[string]bool
+
+	// MissedAckKnown reports whether the maintainer was notified about a
+	// missing acknowledgment (§5.4): if so, an unacked send is left yellow
+	// instead of turning red at Finalize time.
+	MissedAckKnown func(node types.NodeID, id types.MessageID) bool
+
+	// MaybeValidator, when set, performs the application-specific part of
+	// 'maybe' rule validation beyond body existence (e.g. BGP's "the
+	// exported path must extend an imported one", §6.3). Returning false
+	// colors the firing's derive vertex red.
+	MaybeValidator func(rule string, host types.NodeID, head types.Tuple, body []types.Tuple) bool
+}
+
+type pendKey struct {
+	node types.NodeID
+	id   types.MessageID
+}
+
+type sendKey struct {
+	node types.NodeID
+	vid  string // send vertex ID (includes payload)
+}
+
+func sendKeyOf(node types.NodeID, m *types.Message) sendKey {
+	probe := &Vertex{Type: VSend, Host: m.Src, Remote: m.Dst, Msg: m}
+	return sendKey{node, probe.ID()}
+}
+
+// NewBuilder returns a Builder over a fresh graph. factory creates the
+// deterministic state machine for each node; tprop is the maximum message
+// propagation delay Tprop (§5.2, assumption 4).
+func NewBuilder(factory types.MachineFactory, tprop types.Time) *Builder {
+	return &Builder{
+		G:        New(),
+		factory:  factory,
+		tprop:    tprop,
+		machines: make(map[types.NodeID]types.Machine),
+		pending:  make(map[sendKey]*Vertex),
+		ackpend:  make(map[pendKey]*Vertex),
+		unacked:  make(map[pendKey]*Vertex),
+		nopreds:  make(map[string]bool),
+	}
+}
+
+// MachineFor returns (creating if necessary) the state machine for node id.
+func (b *Builder) MachineFor(id types.NodeID) types.Machine {
+	m, ok := b.machines[id]
+	if !ok {
+		m = b.factory(id)
+		b.machines[id] = m
+	}
+	return m
+}
+
+// RestoreMachine initializes node id's machine from a checkpoint snapshot.
+func (b *Builder) RestoreMachine(id types.NodeID, snapshot []byte) error {
+	return b.MachineFor(id).Restore(snapshot)
+}
+
+// SeedExist records, without provenance, that tuple existed on host since
+// appeared — used when replay starts from a checkpoint (§5.6). The vertex is
+// marked FromCheckpoint; its causes live in an earlier log segment.
+func (b *Builder) SeedExist(host types.NodeID, tup types.Tuple, appeared types.Time) *Vertex {
+	if v := b.G.OpenExist(host, tup); v != nil {
+		return v
+	}
+	v := &Vertex{Type: VExist, Host: host, Tuple: tup, T1: appeared, T2: Forever,
+		Color: Black, FromCheckpoint: true}
+	return b.G.Add(v)
+}
+
+// SeedBelieve is SeedExist for a believed remote tuple.
+func (b *Builder) SeedBelieve(host, origin types.NodeID, tup types.Tuple, appeared types.Time) *Vertex {
+	if v := b.G.OpenBelieve(host, origin, tup); v != nil {
+		return v
+	}
+	v := &Vertex{Type: VBelieve, Host: host, Remote: origin, Tuple: tup,
+		T1: appeared, T2: Forever, Color: Black, FromCheckpoint: true}
+	return b.G.Add(v)
+}
+
+// HandleEvent processes one history event: steps 3–5 of the GCA main loop.
+// Events must be presented in per-node chronological order.
+func (b *Builder) HandleEvent(ev types.Event) {
+	switch ev.Kind {
+	case types.EvIns:
+		b.handleEventIns(ev)
+	case types.EvDel:
+		b.handleEventDel(ev)
+	case types.EvSnd:
+		b.handleEventSnd(ev)
+		return // snd events are not fed to the state machine
+	case types.EvRcv:
+		b.handleEventRcv(ev)
+	}
+	if ev.IsAck() {
+		return // acknowledgments are transport-level, not machine inputs
+	}
+	outs := b.MachineFor(ev.Node).Step(ev)
+	for _, out := range outs {
+		b.handleOutput(ev.Node, out, ev.Time)
+	}
+}
+
+// Finalize flags leftover bookkeeping at the end of a complete history
+// prefix: machine outputs that were never sent (suppression), receives that
+// were never acknowledged, and sends whose acknowledgment did not arrive
+// within 2·Tprop and for which the maintainer was not notified. end gives
+// each node's final local time.
+func (b *Builder) Finalize(end map[types.NodeID]types.Time) {
+	for _, k := range b.sortedSendKeys(b.pending) {
+		v := b.pending[k]
+		b.G.SetColor(v, Red)
+		delete(b.pending, k)
+		if cur, ok := b.unacked[pendKey{k.node, v.Msg.ID()}]; ok && cur == v {
+			delete(b.unacked, pendKey{k.node, v.Msg.ID()})
+		}
+	}
+	for _, k := range b.sortedKeys(b.ackpend) {
+		b.G.SetColor(b.ackpend[k], Red)
+		delete(b.ackpend, k)
+	}
+	for _, k := range b.sortedKeys(b.unacked) {
+		v := b.unacked[k]
+		t, ok := end[k.node]
+		if !ok || v.T1 >= t-2*b.tprop {
+			continue // too recent to judge
+		}
+		if b.MissedAckKnown != nil && b.MissedAckKnown(k.node, k.id) {
+			// The sender reported the missing ack; the fault is known and
+			// cannot be attributed to the sender (§5.4).
+			delete(b.unacked, k)
+			continue
+		}
+		b.G.SetColor(v, Red)
+		delete(b.unacked, k)
+	}
+}
+
+// HandleExtraMsg processes evidence of a message that is inconsistent with
+// the retrieved logs (equivocation, or a log that denies a send the querier
+// holds proof of). Both endpoints' vertices are created red unless already
+// present (Figure 11, handle-extra-msg).
+func (b *Builder) HandleExtraMsg(m *types.Message) {
+	b.addRedUnlessPresent(&Vertex{Type: VSend, Host: m.Src, Remote: m.Dst, Msg: m, T1: m.SendTime})
+	b.addRedUnlessPresent(&Vertex{Type: VReceive, Host: m.Dst, Remote: m.Src, Msg: m, T1: m.SendTime})
+}
+
+func (b *Builder) addRedUnlessPresent(v *Vertex) {
+	if b.G.Get(v.ID()) == nil {
+		v.Color = Red
+		b.G.Add(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Event handlers (Figure 11, left column).
+
+func (b *Builder) handleEventIns(ev types.Event) {
+	b.flagAllPending(ev.Node, ev.Time)
+	var vwhy *Vertex
+	if ev.MaybeRule == "" {
+		vwhy = b.G.Add(&Vertex{Type: VInsert, Host: ev.Node, Tuple: ev.Tuple, T1: ev.Time, Color: Black})
+	} else {
+		// A 'maybe' rule firing (§3.4): provenance is a derive vertex whose
+		// body tuples must all be present; a missing body tuple means the
+		// node fired a maybe rule it was not entitled to, which is provable
+		// misbehavior, so the vertex turns red.
+		vwhy = b.deriveVertex(ev.Node, ev.Tuple, ev.MaybeRule, ev.MaybeBody, ev.Time, true)
+		if b.MaybeValidator != nil && !b.MaybeValidator(ev.MaybeRule, ev.Node, ev.Tuple, ev.MaybeBody) {
+			b.G.SetColor(vwhy, Red)
+		}
+	}
+	b.appearLocalTuple(ev.Node, ev.Tuple, vwhy, ev.Time, ev.Replaces)
+}
+
+func (b *Builder) handleEventDel(ev types.Event) {
+	b.flagAllPending(ev.Node, ev.Time)
+	var vwhy *Vertex
+	if ev.MaybeRule == "" {
+		vwhy = b.G.Add(&Vertex{Type: VDelete, Host: ev.Node, Tuple: ev.Tuple, T1: ev.Time, Color: Black})
+	} else {
+		vwhy = b.underiveVertex(ev.Node, ev.Tuple, ev.MaybeRule, ev.MaybeBody, ev.Time)
+	}
+	b.disappearLocalTuple(ev.Node, ev.Tuple, vwhy, ev.Time)
+}
+
+func (b *Builder) handleEventSnd(ev types.Event) {
+	i := ev.Node
+	if ev.IsAck() {
+		// i acknowledges a message it received earlier: the receive vertex
+		// is no longer provisional.
+		k := pendKey{i, *ev.AckID}
+		if v1, ok := b.ackpend[k]; ok {
+			delete(b.ackpend, k)
+			b.G.SetColor(v1, Black)
+		}
+		b.flagAckpend(i)
+		return
+	}
+	m := ev.Msg
+	k := sendKeyOf(i, m)
+	if _, ok := b.pending[k]; ok {
+		// The send was produced by the machine with identical content:
+		// legitimate.
+		delete(b.pending, k)
+	} else {
+		// The history records a transmission the machine never produced:
+		// fabricated traffic (Lemma 3, cases 1 and 3).
+		v2 := b.addSendVertex(m, nil, ev.Time)
+		if cur, ok := b.unacked[pendKey{i, m.ID()}]; ok && cur == v2 {
+			delete(b.unacked, pendKey{i, m.ID()})
+		}
+		b.G.SetColor(v2, Red)
+	}
+	b.flagAckpend(i)
+}
+
+func (b *Builder) handleEventRcv(ev types.Event) {
+	i := ev.Node
+	if !ev.SameBatch {
+		b.flagAllPending(i, ev.Time)
+	}
+	if ev.IsAck() {
+		// i received an acknowledgment for its own message: the ack proves
+		// the peer received it, so the peer's receive vertex exists and i's
+		// send vertex turns black.
+		k := pendKey{i, *ev.AckID}
+		v1, ok := b.unacked[k]
+		if !ok {
+			return // ack for an unknown message; ignore
+		}
+		rcv := b.addReceiveVertex(v1.Msg, ev.AckTime)
+		_ = rcv
+		delete(b.unacked, k)
+		b.G.SetColor(v1, Black)
+		return
+	}
+	m := ev.Msg
+	v1 := b.addReceiveVertex(m, ev.Time)
+	b.ackpend[pendKey{i, m.ID()}] = v1
+	switch m.Pol {
+	case types.PolAppear:
+		b.appearRemoteTuple(i, m.Tuple, m.Src, v1, ev.Time)
+	case types.PolDisappear:
+		b.disappearRemoteTuple(i, m.Tuple, m.Src, v1, ev.Time)
+	case types.PolBoth:
+		// Transient event tuple: it appears and immediately disappears.
+		b.appearRemoteTuple(i, m.Tuple, m.Src, v1, ev.Time)
+		b.disappearRemoteTuple(i, m.Tuple, m.Src, v1, ev.Time)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Output handlers (Figure 11, right column).
+
+func (b *Builder) handleOutput(i types.NodeID, out types.Output, t types.Time) {
+	switch out.Kind {
+	case types.OutDerive:
+		v1 := b.deriveVertex(i, out.Tuple, out.Rule, out.Body, t, false)
+		if out.First {
+			b.appearLocalTuple(i, out.Tuple, v1, t, out.Replaces)
+		} else if ap := b.G.FirstInstant(VAppear, i, out.Tuple, t); ap != nil {
+			// Additional simultaneous derivation of an extant tuple.
+			_ = b.G.AddEdge(v1, ap)
+		} else {
+			// The tuple already existed; give this derivation its own
+			// appear vertex feeding the shared open exist vertex, as in
+			// Figure 2 (one EXIST fed by two DERIVEs).
+			b.appearLocalTuple(i, out.Tuple, v1, t, nil)
+		}
+	case types.OutUnderive:
+		v1 := b.underiveVertex(i, out.Tuple, out.Rule, out.Body, t)
+		if out.Last {
+			b.disappearLocalTuple(i, out.Tuple, v1, t)
+		}
+	case types.OutSend:
+		m := out.Msg
+		var vwhy *Vertex
+		if m.Pol == types.PolDisappear {
+			vwhy = b.G.FirstInstant(VDisappear, i, m.Tuple, t)
+		} else {
+			vwhy = b.G.FirstInstant(VAppear, i, m.Tuple, t)
+		}
+		v1 := b.addSendVertex(m, vwhy, t)
+		b.pending[sendKeyOf(i, m)] = v1
+	}
+}
+
+// deriveVertex creates a derive vertex and connects it to the vertices that
+// justify each body tuple, preferring the state change that triggered the
+// rule at this instant (believe-appear, then appear) and falling back to the
+// extant state (open believe, then open exist), exactly as in
+// handle-output-der. When maybeCheck is set and a body tuple has no
+// justification, the vertex turns red (invalid maybe firing).
+func (b *Builder) deriveVertex(i types.NodeID, tup types.Tuple, rule string, body []types.Tuple, t types.Time, maybeCheck bool) *Vertex {
+	v1 := b.G.Add(&Vertex{Type: VDerive, Host: i, Tuple: tup, Rule: rule,
+		Remote: bodyFingerprint(body), T1: t, Color: Black})
+	for _, tx := range body {
+		vb := b.bodyAppearJustification(i, tx, t)
+		if vb == nil {
+			if maybeCheck {
+				b.G.SetColor(v1, Red)
+				continue
+			}
+			// Fall back to an open exist vertex of unknown origin (the
+			// pseudocode's implicit exist(i, τx, [?, ∞)); arises only when
+			// replay starts from a checkpoint).
+			vb = b.SeedExist(i, tx, t)
+		}
+		_ = b.G.AddEdge(vb, v1)
+	}
+	return v1
+}
+
+func (b *Builder) bodyAppearJustification(i types.NodeID, tx types.Tuple, t types.Time) *Vertex {
+	if v := b.G.FirstInstant(VBelieveAppear, i, tx, t); v != nil {
+		return v
+	}
+	if v := b.G.FirstInstant(VAppear, i, tx, t); v != nil {
+		return v
+	}
+	if v := b.G.OpenBelieveAny(i, tx); v != nil {
+		return v
+	}
+	if v := b.G.OpenExist(i, tx); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (b *Builder) underiveVertex(i types.NodeID, tup types.Tuple, rule string, body []types.Tuple, t types.Time) *Vertex {
+	v1 := b.G.Add(&Vertex{Type: VUnderive, Host: i, Tuple: tup, Rule: rule,
+		Remote: bodyFingerprint(body), T1: t, Color: Black})
+	for _, tx := range body {
+		var vb *Vertex
+		if vb = b.G.FirstInstant(VBelieveDisappear, i, tx, t); vb == nil {
+			if vb = b.G.FirstInstant(VDisappear, i, tx, t); vb == nil {
+				if vb = b.G.OpenBelieveAny(i, tx); vb == nil {
+					if vb = b.G.OpenExist(i, tx); vb == nil {
+						vb = b.SeedExist(i, tx, t)
+					}
+				}
+			}
+		}
+		_ = b.G.AddEdge(vb, v1)
+	}
+	return v1
+}
+
+// bodyFingerprint distinguishes derive vertices for distinct rule firings
+// of the same rule, tuple, and instant. It is stored in the vertex's Remote
+// field, which derive/underive vertices do not otherwise use.
+func bodyFingerprint(body []types.Tuple) types.NodeID {
+	s := ""
+	for _, t := range body {
+		s += t.Key() + ";"
+	}
+	return types.NodeID(s)
+}
+
+// ---------------------------------------------------------------------------
+// Library functions (Figure 10).
+
+func (b *Builder) appearLocalTuple(i types.NodeID, tup types.Tuple, vwhy *Vertex, t types.Time, replaces []types.Tuple) {
+	v1 := b.G.Add(&Vertex{Type: VAppear, Host: i, Tuple: tup, T1: t, Color: Black})
+	v2 := b.G.OpenExist(i, tup)
+	if v2 == nil {
+		v2 = b.G.Add(&Vertex{Type: VExist, Host: i, Tuple: tup, T1: t, T2: Forever, Color: Black})
+	}
+	if vwhy != nil {
+		_ = b.G.AddEdge(vwhy, v1)
+	}
+	_ = b.G.AddEdge(v1, v2)
+	for _, gone := range replaces {
+		if d := b.G.FirstInstant(VDisappear, i, gone, t); d != nil {
+			// §3.4 constraint edge: the replaced tuple's disappearance is
+			// part of this tuple's provenance.
+			_ = b.G.AddEdge(d, v1)
+		}
+	}
+}
+
+func (b *Builder) disappearLocalTuple(i types.NodeID, tup types.Tuple, vwhy *Vertex, t types.Time) {
+	v1 := b.G.Add(&Vertex{Type: VDisappear, Host: i, Tuple: tup, T1: t, Color: Black})
+	if vwhy != nil {
+		_ = b.G.AddEdge(vwhy, v1)
+	}
+	if v2 := b.G.OpenExist(i, tup); v2 != nil {
+		_ = b.G.AddEdge(v1, v2)
+		b.G.CloseInterval(v2, t)
+	}
+}
+
+func (b *Builder) appearRemoteTuple(i types.NodeID, tup types.Tuple, j types.NodeID, vwhy *Vertex, t types.Time) {
+	v1 := b.G.Add(&Vertex{Type: VBelieveAppear, Host: i, Remote: j, Tuple: tup, T1: t, Color: Black})
+	v2 := b.G.OpenBelieve(i, j, tup)
+	if v2 == nil {
+		v2 = b.G.Add(&Vertex{Type: VBelieve, Host: i, Remote: j, Tuple: tup, T1: t, T2: Forever, Color: Black})
+	}
+	if vwhy != nil {
+		_ = b.G.AddEdge(vwhy, v1)
+	}
+	_ = b.G.AddEdge(v1, v2)
+}
+
+func (b *Builder) disappearRemoteTuple(i types.NodeID, tup types.Tuple, j types.NodeID, vwhy *Vertex, t types.Time) {
+	v1 := b.G.Add(&Vertex{Type: VBelieveDisappear, Host: i, Remote: j, Tuple: tup, T1: t, Color: Black})
+	if vwhy != nil {
+		_ = b.G.AddEdge(vwhy, v1)
+	}
+	if v2 := b.G.OpenBelieve(i, j, tup); v2 != nil {
+		_ = b.G.AddEdge(v1, v2)
+		b.G.CloseInterval(v2, t)
+	}
+}
+
+func (b *Builder) flagAllPending(i types.NodeID, t types.Time) {
+	b.flagAckpend(i)
+	for _, k := range b.sortedSendKeys(b.pending) {
+		if k.node != i {
+			continue
+		}
+		v := b.pending[k]
+		b.G.SetColor(v, Red)
+		delete(b.pending, k)
+		if cur, ok := b.unacked[pendKey{i, v.Msg.ID()}]; ok && cur == v {
+			delete(b.unacked, pendKey{i, v.Msg.ID()})
+		}
+	}
+	for _, k := range b.sortedKeys(b.unacked) {
+		if k.node != i {
+			continue
+		}
+		if v2 := b.unacked[k]; v2.T1 < t-2*b.tprop {
+			b.G.SetColor(v2, Red)
+			delete(b.unacked, k)
+		}
+	}
+}
+
+func (b *Builder) flagAckpend(i types.NodeID) {
+	for _, k := range b.sortedKeys(b.ackpend) {
+		if k.node != i {
+			continue
+		}
+		b.G.SetColor(b.ackpend[k], Red)
+		delete(b.ackpend, k)
+	}
+}
+
+func (b *Builder) addSendVertex(m *types.Message, vwhy *Vertex, t types.Time) *Vertex {
+	probe := &Vertex{Type: VSend, Host: m.Src, Remote: m.Dst, Msg: m, T1: t}
+	v1 := b.G.Get(probe.ID())
+	if v1 == nil {
+		probe.Color = Yellow
+		v1 = b.G.Add(probe)
+		b.nopreds[v1.ID()] = true
+		b.unacked[pendKey{m.Src, m.ID()}] = v1
+	}
+	if b.nopreds[v1.ID()] && vwhy != nil {
+		_ = b.G.AddEdge(vwhy, v1)
+		delete(b.nopreds, v1.ID())
+	}
+	return v1
+}
+
+func (b *Builder) addReceiveVertex(m *types.Message, t types.Time) *Vertex {
+	send := b.addSendVertex(m, nil, m.SendTime)
+	probe := &Vertex{Type: VReceive, Host: m.Dst, Remote: m.Src, Msg: m, T1: t}
+	v1 := b.G.Get(probe.ID())
+	if v1 == nil {
+		probe.Color = Yellow
+		v1 = b.G.Add(probe)
+	}
+	_ = b.G.AddEdge(send, v1)
+	return v1
+}
+
+func (b *Builder) sortedSendKeys(m map[sendKey]*Vertex) []sendKey {
+	keys := make([]sendKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, c int) bool {
+		if keys[a].node != keys[c].node {
+			return keys[a].node < keys[c].node
+		}
+		return keys[a].vid < keys[c].vid
+	})
+	return keys
+}
+
+func (b *Builder) sortedKeys(m map[pendKey]*Vertex) []pendKey {
+	keys := make([]pendKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, c int) bool {
+		ka, kc := keys[a], keys[c]
+		if ka.node != kc.node {
+			return ka.node < kc.node
+		}
+		if ka.id.Src != kc.id.Src {
+			return ka.id.Src < kc.id.Src
+		}
+		if ka.id.Dst != kc.id.Dst {
+			return ka.id.Dst < kc.id.Dst
+		}
+		return ka.id.Seq < kc.id.Seq
+	})
+	return keys
+}

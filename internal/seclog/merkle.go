@@ -1,0 +1,95 @@
+package seclog
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Merkle hash trees authenticate checkpoint items so that a querier can
+// download and verify a *partial* checkpoint (§7.7 verifies partial Quagga
+// checkpoints with a Merkle hash tree). Leaves are hashed with a 0x00
+// domain prefix and interior nodes with 0x01, preventing second-preimage
+// splices between levels.
+
+func merkleLeaf(suite cryptoutil.Suite, data []byte) []byte {
+	return suite.Hash([]byte{0}, data)
+}
+
+func merkleNode(suite cryptoutil.Suite, left, right []byte) []byte {
+	return suite.Hash([]byte{1}, left, right)
+}
+
+// MerkleRoot computes the root over the given leaf datas. The root of zero
+// leaves is the hash of an empty leaf.
+func MerkleRoot(suite cryptoutil.Suite, leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		return merkleLeaf(suite, nil)
+	}
+	level := make([][]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(suite, l)
+	}
+	for len(level) > 1 {
+		var next [][]byte
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, merkleNode(suite, level[i], level[i+1]))
+			} else {
+				// Odd node is promoted unchanged.
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof returns the sibling hashes needed to verify leaf i against
+// the root of the given leaves.
+func MerkleProof(suite cryptoutil.Suite, leaves [][]byte, i int) ([][]byte, error) {
+	if i < 0 || i >= len(leaves) {
+		return nil, fmt.Errorf("seclog: merkle proof index %d of %d", i, len(leaves))
+	}
+	level := make([][]byte, len(leaves))
+	for j, l := range leaves {
+		level[j] = merkleLeaf(suite, l)
+	}
+	var proof [][]byte
+	for len(level) > 1 {
+		sib := i ^ 1
+		if sib < len(level) {
+			proof = append(proof, level[sib])
+		} else {
+			proof = append(proof, nil) // odd promotion: no sibling
+		}
+		var next [][]byte
+		for j := 0; j < len(level); j += 2 {
+			if j+1 < len(level) {
+				next = append(next, merkleNode(suite, level[j], level[j+1]))
+			} else {
+				next = append(next, level[j])
+			}
+		}
+		level = next
+		i /= 2
+	}
+	return proof, nil
+}
+
+// MerkleVerify checks that data is leaf i of a tree with the given root.
+func MerkleVerify(suite cryptoutil.Suite, root, data []byte, i int, proof [][]byte) bool {
+	h := merkleLeaf(suite, data)
+	for _, sib := range proof {
+		if sib == nil {
+			// Odd promotion at this level.
+		} else if i%2 == 0 {
+			h = merkleNode(suite, h, sib)
+		} else {
+			h = merkleNode(suite, sib, h)
+		}
+		i /= 2
+	}
+	return bytes.Equal(h, root)
+}

@@ -1,0 +1,584 @@
+// Package seclog implements SNooPy's tamper-evident log (§5.4): an
+// append-only sequence of entries linked by a hash chain, from which a node
+// can issue authenticators — signed commitments to its entire history up to
+// an entry. Any two messages signed by the same node either lie on one
+// chain or prove equivocation.
+//
+// Entry granularity is the *envelope*: a batch of 1..k messages sent to one
+// destination under a single signature and acknowledgment (the Tbatch
+// optimization of §5.6; an unbatched system simply sends envelopes of one).
+// Replay expands each envelope entry into per-message events for the
+// graph-construction algorithm.
+package seclog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// EntryType enumerates log entry types (§5.4 lists snd, rcv, ack, ins, del;
+// checkpoints are the §5.6 optimization).
+type EntryType uint8
+
+// Entry types.
+const (
+	ESnd EntryType = iota
+	ERcv
+	EAck
+	EIns
+	EDel
+	ECkpt
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case ESnd:
+		return "snd"
+	case ERcv:
+		return "rcv"
+	case EAck:
+		return "ack"
+	case EIns:
+		return "ins"
+	case EDel:
+		return "del"
+	case ECkpt:
+		return "ckpt"
+	default:
+		return fmt.Sprintf("entry(%d)", t)
+	}
+}
+
+// Entry is one log record. Field usage depends on Type:
+//
+//	ESnd:  Msgs (all to one destination)
+//	ERcv:  Msgs plus the sender's envelope authenticator material
+//	       (PeerPrevHash, PeerTime, PeerSig, PeerSeq)
+//	EAck:  AckIDs plus the receiver's authenticator material
+//	EIns/EDel: Tuple, and for maybe firings MaybeRule/MaybeBody/Replaces
+//	ECkpt: Ckpt
+type Entry struct {
+	T    types.Time
+	Type EntryType
+
+	Msgs []types.Message
+
+	PeerPrevHash []byte
+	PeerTime     types.Time
+	PeerSig      []byte
+	PeerSeq      uint64
+
+	AckIDs []types.MessageID
+	// EnvSig, on EAck entries, preserves the acknowledged envelope's own
+	// signature so that replay can reconstruct the receiver's rcv entry
+	// verbatim and re-verify the ack signature (§5.5's authenticator
+	// conditions).
+	EnvSig []byte
+
+	Tuple     types.Tuple
+	MaybeRule string
+	MaybeBody []types.Tuple
+	Replaces  []types.Tuple
+
+	Ckpt *Checkpoint
+}
+
+// marshalContent encodes the type-specific content c_k that is hashed into
+// the chain.
+func (e *Entry) marshalContent(w *wire.Writer) {
+	switch e.Type {
+	case ESnd:
+		w.Uint(uint64(len(e.Msgs)))
+		for i := range e.Msgs {
+			e.Msgs[i].MarshalWire(w)
+		}
+	case ERcv:
+		w.Uint(uint64(len(e.Msgs)))
+		for i := range e.Msgs {
+			e.Msgs[i].MarshalWire(w)
+		}
+		w.BytesField(e.PeerPrevHash)
+		w.Int(int64(e.PeerTime))
+		w.BytesField(e.PeerSig)
+		w.Uint(e.PeerSeq)
+	case EAck:
+		w.Uint(uint64(len(e.AckIDs)))
+		for _, id := range e.AckIDs {
+			w.String(string(id.Src))
+			w.String(string(id.Dst))
+			w.Uint(id.Seq)
+		}
+		w.BytesField(e.PeerPrevHash)
+		w.Int(int64(e.PeerTime))
+		w.BytesField(e.PeerSig)
+		w.Uint(e.PeerSeq)
+		w.BytesField(e.EnvSig)
+	case EIns, EDel:
+		e.Tuple.MarshalWire(w)
+		w.String(e.MaybeRule)
+		w.Uint(uint64(len(e.MaybeBody)))
+		for i := range e.MaybeBody {
+			e.MaybeBody[i].MarshalWire(w)
+		}
+		w.Uint(uint64(len(e.Replaces)))
+		for i := range e.Replaces {
+			e.Replaces[i].MarshalWire(w)
+		}
+	case ECkpt:
+		// The chain commits only to the checkpoint digests; the bulky
+		// payload is verified against them (enables partial retrieval).
+		e.Ckpt.digestMarshal(w)
+	}
+}
+
+// MarshalWire implements wire.Marshaler (full entry, for transmission).
+func (e *Entry) MarshalWire(w *wire.Writer) {
+	w.Int(int64(e.T))
+	w.Byte(byte(e.Type))
+	e.marshalContent(w)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (e *Entry) UnmarshalWire(r *wire.Reader) error {
+	e.T = types.Time(r.Int())
+	e.Type = EntryType(r.Byte())
+	switch e.Type {
+	case ESnd:
+		n := r.Uint()
+		if err := checkCount(r, n); err != nil {
+			return err
+		}
+		e.Msgs = make([]types.Message, n)
+		for i := range e.Msgs {
+			if err := e.Msgs[i].UnmarshalWire(r); err != nil {
+				return err
+			}
+		}
+	case ERcv:
+		n := r.Uint()
+		if err := checkCount(r, n); err != nil {
+			return err
+		}
+		e.Msgs = make([]types.Message, n)
+		for i := range e.Msgs {
+			if err := e.Msgs[i].UnmarshalWire(r); err != nil {
+				return err
+			}
+		}
+		e.PeerPrevHash = r.BytesField()
+		e.PeerTime = types.Time(r.Int())
+		e.PeerSig = r.BytesField()
+		e.PeerSeq = r.Uint()
+	case EAck:
+		n := r.Uint()
+		if err := checkCount(r, n); err != nil {
+			return err
+		}
+		e.AckIDs = make([]types.MessageID, n)
+		for i := range e.AckIDs {
+			e.AckIDs[i].Src = types.NodeID(r.String())
+			e.AckIDs[i].Dst = types.NodeID(r.String())
+			e.AckIDs[i].Seq = r.Uint()
+		}
+		e.PeerPrevHash = r.BytesField()
+		e.PeerTime = types.Time(r.Int())
+		e.PeerSig = r.BytesField()
+		e.PeerSeq = r.Uint()
+		e.EnvSig = r.BytesField()
+	case EIns, EDel:
+		if err := e.Tuple.UnmarshalWire(r); err != nil {
+			return err
+		}
+		e.MaybeRule = r.String()
+		n := r.Uint()
+		if err := checkCount(r, n); err != nil {
+			return err
+		}
+		e.MaybeBody = make([]types.Tuple, n)
+		for i := range e.MaybeBody {
+			if err := e.MaybeBody[i].UnmarshalWire(r); err != nil {
+				return err
+			}
+		}
+		n = r.Uint()
+		if err := checkCount(r, n); err != nil {
+			return err
+		}
+		e.Replaces = make([]types.Tuple, n)
+		for i := range e.Replaces {
+			if err := e.Replaces[i].UnmarshalWire(r); err != nil {
+				return err
+			}
+		}
+	case ECkpt:
+		e.Ckpt = new(Checkpoint)
+		if err := e.Ckpt.UnmarshalWire(r); err != nil {
+			return err
+		}
+	default:
+		if r.Err() == nil {
+			return fmt.Errorf("seclog: invalid entry type %d", e.Type)
+		}
+	}
+	return r.Err()
+}
+
+func checkCount(r *wire.Reader, n uint64) error {
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > 1<<24 {
+		return fmt.Errorf("seclog: count %d too large", n)
+	}
+	return nil
+}
+
+// WireSize returns the encoded size of the entry in bytes.
+func (e *Entry) WireSize() int { return wire.Size(e) }
+
+// ---------------------------------------------------------------------------
+// Authenticators.
+
+// Authenticator is a_k = (k, t_k, h_k, σ(t_k‖h_k)): a signed commitment
+// that entry k (and, through the hash chain, every earlier entry) is in the
+// node's log.
+type Authenticator struct {
+	Node types.NodeID
+	Seq  uint64 // 1-based entry index
+	T    types.Time
+	Hash []byte
+	Sig  []byte
+}
+
+// MarshalWire implements wire.Marshaler.
+func (a Authenticator) MarshalWire(w *wire.Writer) {
+	w.String(string(a.Node))
+	w.Uint(a.Seq)
+	w.Int(int64(a.T))
+	w.BytesField(a.Hash)
+	w.BytesField(a.Sig)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *Authenticator) UnmarshalWire(r *wire.Reader) error {
+	a.Node = types.NodeID(r.String())
+	a.Seq = r.Uint()
+	a.T = types.Time(r.Int())
+	a.Hash = r.BytesField()
+	a.Sig = r.BytesField()
+	return r.Err()
+}
+
+// WireSize returns the encoded size in bytes.
+func (a Authenticator) WireSize() int { return wire.Size(a) }
+
+// signedMaterial is the byte string covered by an authenticator signature.
+func signedMaterial(t types.Time, hash []byte) []byte {
+	w := wire.NewWriter(32)
+	w.Int(int64(t))
+	w.BytesField(hash)
+	return w.Bytes()
+}
+
+// Verify checks the authenticator's signature under pub.
+func (a Authenticator) Verify(pub cryptoutil.PublicKey) bool {
+	return pub.Verify(signedMaterial(a.T, a.Hash), a.Sig)
+}
+
+// ---------------------------------------------------------------------------
+// The log.
+
+// Log is one node's tamper-evident log. It retains all entries in memory
+// (SNooPy's Thist truncation is modeled by Truncate). The zero value is not
+// usable; call New.
+type Log struct {
+	node     types.NodeID
+	suite    cryptoutil.Suite
+	key      cryptoutil.PrivateKey
+	stats    *cryptoutil.Stats
+	first    uint64 // sequence number of entries[0] (1-based); >1 after Truncate
+	entries  []*Entry
+	hashes   [][]byte // hashes[i] is h of entries[i]
+	baseHash []byte   // h_{first-1}
+	// grossBytes accumulates the wire size of all appended entries,
+	// including truncated ones (for log-growth accounting, Figure 6).
+	grossBytes int64
+}
+
+// New creates an empty log for node with the given suite and signing key.
+// stats may be nil.
+func New(node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey, stats *cryptoutil.Stats) *Log {
+	return &Log{node: node, suite: suite, key: key, stats: stats, first: 1, baseHash: nil}
+}
+
+// Node returns the log owner.
+func (l *Log) Node() types.NodeID { return l.node }
+
+// Len returns the sequence number of the last entry (0 if empty).
+func (l *Log) Len() uint64 { return l.first - 1 + uint64(len(l.entries)) }
+
+// FirstSeq returns the sequence number of the earliest retained entry.
+func (l *Log) FirstSeq() uint64 { return l.first }
+
+// GrossBytes returns the total wire size ever appended.
+func (l *Log) GrossBytes() int64 { return l.grossBytes }
+
+// HeadHash returns h_k for the last entry (or the base hash when empty).
+func (l *Log) HeadHash() []byte {
+	if len(l.entries) == 0 {
+		return l.baseHash
+	}
+	return l.hashes[len(l.hashes)-1]
+}
+
+// ChainHash computes h_k = H(h_{k-1} ‖ t_k ‖ y_k ‖ c_k) for an entry that
+// would follow prev; the commitment protocol uses it to reconstruct a
+// peer's chain position from a received envelope or acknowledgment.
+func ChainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *Entry) []byte {
+	return chainHash(suite, stats, prev, e)
+}
+
+// VerifyCommitment checks a signature over (t ‖ h) — the material covered
+// by envelope and acknowledgment signatures as well as authenticators.
+func VerifyCommitment(stats *cryptoutil.Stats, pub cryptoutil.PublicKey, t types.Time, hash, sig []byte) bool {
+	stats.CountVerify()
+	return pub.Verify(signedMaterial(t, hash), sig)
+}
+
+// chainHash computes h_k = H(h_{k-1} ‖ t_k ‖ y_k ‖ c_k).
+func chainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *Entry) []byte {
+	w := wire.NewWriter(256)
+	w.BytesField(prev)
+	w.Int(int64(e.T))
+	w.Byte(byte(e.Type))
+	e.marshalContent(w)
+	stats.CountHash(w.Len())
+	return suite.Hash(w.Bytes())
+}
+
+// Append adds an entry and returns its sequence number.
+func (l *Log) Append(e *Entry) uint64 {
+	h := chainHash(l.suite, l.stats, l.HeadHash(), e)
+	l.entries = append(l.entries, e)
+	l.hashes = append(l.hashes, h)
+	l.grossBytes += int64(e.WireSize())
+	return l.Len()
+}
+
+// HashAt returns h_k. It panics for truncated or out-of-range entries.
+func (l *Log) HashAt(seq uint64) []byte {
+	if seq == l.first-1 {
+		return l.baseHash
+	}
+	return l.hashes[seq-l.first]
+}
+
+// EntryAt returns entry seq (1-based).
+func (l *Log) EntryAt(seq uint64) *Entry { return l.entries[seq-l.first] }
+
+// Authenticator signs the current head (or, with seq, an earlier retained
+// position).
+func (l *Log) Authenticator() (Authenticator, error) {
+	return l.AuthenticatorAt(l.Len())
+}
+
+// AuthenticatorAt signs position seq.
+func (l *Log) AuthenticatorAt(seq uint64) (Authenticator, error) {
+	if seq < l.first || seq > l.Len() {
+		return Authenticator{}, fmt.Errorf("seclog: no entry %d (have %d..%d)", seq, l.first, l.Len())
+	}
+	e := l.EntryAt(seq)
+	h := l.HashAt(seq)
+	sig, err := l.key.Sign(signedMaterial(e.T, h))
+	if err != nil {
+		return Authenticator{}, err
+	}
+	l.stats.CountSign()
+	return Authenticator{Node: l.node, Seq: seq, T: e.T, Hash: h, Sig: sig}, nil
+}
+
+// Sign signs arbitrary material with the log's key (used by the commitment
+// protocol for envelope signatures, which cover (t‖h) like authenticators).
+func (l *Log) Sign(t types.Time, hash []byte) ([]byte, error) {
+	sig, err := l.key.Sign(signedMaterial(t, hash))
+	l.stats.CountSign()
+	return sig, err
+}
+
+// Segment returns entries [from..to] (1-based, inclusive) together with the
+// base hash h_{from-1}. It returns an error if the range was truncated.
+func (l *Log) Segment(from, to uint64) (*SegmentData, error) {
+	if from < l.first {
+		return nil, fmt.Errorf("seclog: segment start %d precedes retained history (first %d)", from, l.first)
+	}
+	if to > l.Len() || from > to+1 {
+		return nil, fmt.Errorf("seclog: bad segment [%d..%d] of %d", from, to, l.Len())
+	}
+	seg := &SegmentData{Node: l.node, From: from, BaseHash: l.HashAt(from - 1)}
+	for s := from; s <= to; s++ {
+		seg.Entries = append(seg.Entries, l.EntryAt(s))
+	}
+	return seg, nil
+}
+
+// Truncate drops entries before seq (Thist retention, §5.6).
+func (l *Log) Truncate(seq uint64) {
+	if seq <= l.first {
+		return
+	}
+	if seq > l.Len()+1 {
+		seq = l.Len() + 1
+	}
+	drop := seq - l.first
+	l.baseHash = l.HashAt(seq - 1)
+	l.entries = append([]*Entry(nil), l.entries[drop:]...)
+	l.hashes = append([][]byte(nil), l.hashes[drop:]...)
+	l.first = seq
+}
+
+// LastCheckpointBefore returns the sequence of the latest ECkpt entry with
+// seq <= bound, or 0 if none is retained.
+func (l *Log) LastCheckpointBefore(bound uint64) uint64 {
+	if bound > l.Len() {
+		bound = l.Len()
+	}
+	for s := bound; s >= l.first; s-- {
+		if l.EntryAt(s).Type == ECkpt {
+			return s
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Segments and verification.
+
+// SegmentData is a retrieved log segment: entries From..From+len-1 with the
+// hash chain's starting point.
+type SegmentData struct {
+	Node     types.NodeID
+	From     uint64
+	BaseHash []byte
+	Entries  []*Entry
+}
+
+// To returns the sequence number of the last entry in the segment.
+func (s *SegmentData) To() uint64 { return s.From + uint64(len(s.Entries)) - 1 }
+
+// MarshalWire implements wire.Marshaler.
+func (s *SegmentData) MarshalWire(w *wire.Writer) {
+	w.String(string(s.Node))
+	w.Uint(s.From)
+	w.BytesField(s.BaseHash)
+	w.Uint(uint64(len(s.Entries)))
+	for _, e := range s.Entries {
+		e.MarshalWire(w)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *SegmentData) UnmarshalWire(r *wire.Reader) error {
+	s.Node = types.NodeID(r.String())
+	s.From = r.Uint()
+	s.BaseHash = r.BytesField()
+	n := r.Uint()
+	if err := checkCount(r, n); err != nil {
+		return err
+	}
+	s.Entries = make([]*Entry, n)
+	for i := range s.Entries {
+		s.Entries[i] = new(Entry)
+		if err := s.Entries[i].UnmarshalWire(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// WireSize returns the encoded size in bytes.
+func (s *SegmentData) WireSize() int { return wire.Size(s) }
+
+// ErrChainMismatch is returned when a segment does not reproduce the hash an
+// authenticator committed to — proof of tampering.
+var ErrChainMismatch = errors.New("seclog: hash chain does not match authenticator")
+
+// VerifyAgainst recomputes the segment's hash chain and checks it against
+// the authenticator (which must be signed by the segment's owner and point
+// into the segment range). On success it returns the hash of every entry.
+func (s *SegmentData) VerifyAgainst(suite cryptoutil.Suite, stats *cryptoutil.Stats,
+	pub cryptoutil.PublicKey, auth Authenticator) ([][]byte, error) {
+	if auth.Node != s.Node {
+		return nil, fmt.Errorf("seclog: authenticator is from %s, segment from %s", auth.Node, s.Node)
+	}
+	if auth.Seq < s.From || auth.Seq > s.To() {
+		return nil, fmt.Errorf("seclog: authenticator seq %d outside segment [%d..%d]", auth.Seq, s.From, s.To())
+	}
+	if !auth.Verify(pub) {
+		return nil, fmt.Errorf("seclog: bad authenticator signature from %s", s.Node)
+	}
+	stats.CountVerify()
+	hashes := make([][]byte, len(s.Entries))
+	prev := s.BaseHash
+	for i, e := range s.Entries {
+		prev = chainHash(suite, stats, prev, e)
+		hashes[i] = prev
+	}
+	if !bytes.Equal(hashes[auth.Seq-s.From], auth.Hash) {
+		return nil, ErrChainMismatch
+	}
+	return hashes, nil
+}
+
+// ---------------------------------------------------------------------------
+// Authenticator sets (U_{i,j}, §5.4).
+
+// AuthSet stores the authenticators a node has received from its peers,
+// used as evidence and for the equivocation consistency check (§5.5).
+type AuthSet struct {
+	byNode map[types.NodeID][]Authenticator
+}
+
+// NewAuthSet returns an empty set.
+func NewAuthSet() *AuthSet { return &AuthSet{byNode: make(map[types.NodeID][]Authenticator)} }
+
+// Add records an authenticator.
+func (u *AuthSet) Add(a Authenticator) {
+	u.byNode[a.Node] = append(u.byNode[a.Node], a)
+}
+
+// From returns all authenticators signed by node.
+func (u *AuthSet) From(node types.NodeID) []Authenticator {
+	return u.byNode[node]
+}
+
+// FromInInterval returns node's authenticators with T in [t1, t2].
+func (u *AuthSet) FromInInterval(node types.NodeID, t1, t2 types.Time) []Authenticator {
+	var out []Authenticator
+	for _, a := range u.byNode[node] {
+		if a.T >= t1 && a.T <= t2 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Latest returns the most recent authenticator from node (by Seq) and
+// whether one exists.
+func (u *AuthSet) Latest(node types.NodeID) (Authenticator, bool) {
+	as := u.byNode[node]
+	if len(as) == 0 {
+		return Authenticator{}, false
+	}
+	best := as[0]
+	for _, a := range as[1:] {
+		if a.Seq > best.Seq {
+			best = a
+		}
+	}
+	return best, true
+}

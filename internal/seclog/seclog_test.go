@@ -1,0 +1,319 @@
+package seclog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+var testSuite = cryptoutil.Ed25519SHA256
+
+func testKey(t *testing.T, seed int64) cryptoutil.PrivateKey {
+	t.Helper()
+	k, err := testSuite.GenerateKey(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func newTestLog(t *testing.T) *Log {
+	t.Helper()
+	return New("n1", testSuite, testKey(t, 1), nil)
+}
+
+func insEntry(at types.Time, rel string, k int64) *Entry {
+	return &Entry{T: at, Type: EIns, Tuple: types.MakeTuple(rel, types.N("n1"), types.I(k))}
+}
+
+func sndEntry(at types.Time, seq uint64) *Entry {
+	return &Entry{T: at, Type: ESnd, Msgs: []types.Message{{
+		Src: "n1", Dst: "n2", Pol: types.PolAppear,
+		Tuple: types.MakeTuple("x", types.N("n2"), types.I(int64(seq))), SendTime: at, Seq: seq,
+	}}}
+}
+
+func TestAppendAndAuthenticate(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 5; i++ {
+		seq := l.Append(insEntry(types.Time(i), "a", int64(i)))
+		if seq != uint64(i) {
+			t.Fatalf("Append returned seq %d, want %d", seq, i)
+		}
+	}
+	auth, err := l.Authenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth.Seq != 5 || auth.Node != "n1" {
+		t.Errorf("auth = %+v", auth)
+	}
+	if !auth.Verify(l.key.Public()) {
+		t.Error("authenticator does not verify")
+	}
+	// A different key must not verify it.
+	if auth.Verify(testKey(t, 2).Public()) {
+		t.Error("authenticator verified under wrong key")
+	}
+}
+
+func TestSegmentVerify(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		l.Append(insEntry(types.Time(i), "a", int64(i)))
+	}
+	auth, err := l.Authenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := l.Segment(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hashes[9], auth.Hash) {
+		t.Error("verified hashes do not end at the authenticator")
+	}
+}
+
+func TestTamperedSegmentRejected(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		l.Append(insEntry(types.Time(i), "a", int64(i)))
+	}
+	auth, _ := l.Authenticator()
+	seg, _ := l.Segment(1, 10)
+
+	// Replace one entry: the chain must break.
+	tampered := *seg
+	tampered.Entries = append([]*Entry(nil), seg.Entries...)
+	tampered.Entries[4] = insEntry(5, "a", 999)
+	if _, err := tampered.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err == nil {
+		t.Error("tampered entry accepted")
+	}
+
+	// Drop an entry: also rejected.
+	dropped := *seg
+	dropped.Entries = seg.Entries[:9]
+	if _, err := dropped.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err == nil {
+		t.Error("dropped entry accepted")
+	}
+}
+
+func TestMidSegmentAuthenticator(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		l.Append(insEntry(types.Time(i), "a", int64(i)))
+	}
+	auth, err := l.AuthenticatorAt(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := l.Segment(1, 10)
+	if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err != nil {
+		t.Errorf("mid-segment authenticator rejected: %v", err)
+	}
+}
+
+func TestSegmentFromOffset(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		l.Append(insEntry(types.Time(i), "a", int64(i)))
+	}
+	auth, _ := l.Authenticator()
+	seg, err := l.Segment(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err != nil {
+		t.Errorf("offset segment rejected: %v", err)
+	}
+	// Lying about the base hash must be caught.
+	seg.BaseHash = testSuite.Hash([]byte("lie"))
+	if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err == nil {
+		t.Error("segment with forged base hash accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		l.Append(insEntry(types.Time(i), "a", int64(i)))
+	}
+	headBefore := append([]byte(nil), l.HeadHash()...)
+	auth, _ := l.Authenticator()
+	l.Truncate(5)
+	if l.FirstSeq() != 5 || l.Len() != 10 {
+		t.Fatalf("after truncate: first=%d len=%d", l.FirstSeq(), l.Len())
+	}
+	if !bytes.Equal(l.HeadHash(), headBefore) {
+		t.Error("truncate changed the head hash")
+	}
+	// Appending still continues the same chain.
+	l.Append(insEntry(11, "a", 11))
+	seg, err := l.Segment(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth2, _ := l.Authenticator()
+	if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth2); err != nil {
+		t.Errorf("post-truncate segment rejected: %v", err)
+	}
+	if _, err := l.Segment(1, 10); err == nil {
+		t.Error("truncated range served")
+	}
+	_ = auth
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	entries := []*Entry{
+		insEntry(5, "a", 1),
+		{T: 6, Type: EDel, Tuple: types.MakeTuple("a", types.N("n1"), types.I(1))},
+		sndEntry(7, 1),
+		{T: 8, Type: ERcv, Msgs: sndEntry(7, 2).Msgs, PeerPrevHash: []byte{1, 2},
+			PeerTime: 7, PeerSig: []byte{3, 4}, PeerSeq: 9},
+		{T: 9, Type: EAck, AckIDs: []types.MessageID{{Src: "n1", Dst: "n2", Seq: 1}},
+			PeerPrevHash: []byte{5}, PeerTime: 8, PeerSig: []byte{6}, PeerSeq: 11},
+		{T: 10, Type: EIns, Tuple: types.MakeTuple("m", types.N("n1")),
+			MaybeRule: "M", MaybeBody: []types.Tuple{types.MakeTuple("b", types.N("n1"))},
+			Replaces: []types.Tuple{types.MakeTuple("m", types.N("n1"), types.I(0))}},
+	}
+	for _, e := range entries {
+		buf := wire.Encode(e)
+		var got Entry
+		if err := wire.Decode(buf, &got); err != nil {
+			t.Fatalf("%s: %v", e.Type, err)
+		}
+		if !bytes.Equal(wire.Encode(&got), buf) {
+			t.Errorf("%s: round trip not stable", e.Type)
+		}
+	}
+}
+
+func TestCheckpointRoundTripAndVerify(t *testing.T) {
+	items := []ExtantItem{
+		{Tuple: types.MakeTuple("a", types.N("n1"), types.I(1)), Appeared: 3, Local: true},
+		{Tuple: types.MakeTuple("b", types.N("n1")), Appeared: 4,
+			Believed: []BelievedRecord{{Origin: "n2", Since: 4}}},
+	}
+	c := BuildCheckpoint(testSuite, nil, []byte("machine-state"), items)
+	if err := c.VerifyFull(testSuite, nil); err != nil {
+		t.Fatalf("fresh checkpoint does not verify: %v", err)
+	}
+	buf := wire.Encode(c)
+	var got Checkpoint
+	if err := wire.Decode(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyFull(testSuite, nil); err != nil {
+		t.Fatalf("decoded checkpoint does not verify: %v", err)
+	}
+	// Tampering with the payload must be detected.
+	got.MachineState = []byte("evil-state")
+	if err := got.VerifyFull(testSuite, nil); err == nil {
+		t.Error("tampered machine state accepted")
+	}
+	got.MachineState = []byte("machine-state")
+	got.Items[0].Appeared = 99
+	if err := got.VerifyFull(testSuite, nil); err == nil {
+		t.Error("tampered item accepted")
+	}
+}
+
+func TestCheckpointPartialItems(t *testing.T) {
+	var items []ExtantItem
+	for i := int64(0); i < 13; i++ {
+		items = append(items, ExtantItem{
+			Tuple: types.MakeTuple("r", types.N("n1"), types.I(i)), Appeared: types.Time(i), Local: true,
+		})
+	}
+	c := BuildCheckpoint(testSuite, nil, []byte("s"), items)
+	for i := range items {
+		it, proof, err := c.ItemProof(testSuite, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.VerifyItem(testSuite, it, i, proof) {
+			t.Errorf("item %d proof rejected", i)
+		}
+		// A different item must not verify at this position.
+		other := items[(i+1)%len(items)]
+		if c.VerifyItem(testSuite, other, i, proof) {
+			t.Errorf("wrong item accepted at position %d", i)
+		}
+	}
+}
+
+func TestCheckpointInChain(t *testing.T) {
+	l := newTestLog(t)
+	l.Append(insEntry(1, "a", 1))
+	c := BuildCheckpoint(testSuite, nil, []byte("state"), nil)
+	l.Append(&Entry{T: 2, Type: ECkpt, Ckpt: c})
+	l.Append(insEntry(3, "a", 2))
+	auth, _ := l.Authenticator()
+	seg, _ := l.Segment(1, 3)
+	if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err != nil {
+		t.Fatalf("segment with checkpoint rejected: %v", err)
+	}
+	if got := l.LastCheckpointBefore(3); got != 2 {
+		t.Errorf("LastCheckpointBefore(3) = %d, want 2", got)
+	}
+	if got := l.LastCheckpointBefore(1); got != 0 {
+		t.Errorf("LastCheckpointBefore(1) = %d, want 0", got)
+	}
+}
+
+func TestAuthSet(t *testing.T) {
+	u := NewAuthSet()
+	u.Add(Authenticator{Node: "a", Seq: 1, T: 10})
+	u.Add(Authenticator{Node: "a", Seq: 3, T: 30})
+	u.Add(Authenticator{Node: "b", Seq: 2, T: 20})
+	if got := len(u.From("a")); got != 2 {
+		t.Errorf("From(a) = %d", got)
+	}
+	latest, ok := u.Latest("a")
+	if !ok || latest.Seq != 3 {
+		t.Errorf("Latest(a) = %+v, %v", latest, ok)
+	}
+	in := u.FromInInterval("a", 5, 15)
+	if len(in) != 1 || in[0].Seq != 1 {
+		t.Errorf("FromInInterval = %v", in)
+	}
+	if _, ok := u.Latest("zz"); ok {
+		t.Error("Latest of unknown node reported ok")
+	}
+}
+
+func TestMerkleQuick(t *testing.T) {
+	f := func(data [][]byte, idx uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		i := int(idx) % len(data)
+		root := MerkleRoot(testSuite, data)
+		proof, err := MerkleProof(testSuite, data, i)
+		if err != nil {
+			return false
+		}
+		return MerkleVerify(testSuite, root, data[i], i, proof)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrossBytesAccounting(t *testing.T) {
+	l := newTestLog(t)
+	e := insEntry(1, "a", 1)
+	l.Append(e)
+	if l.GrossBytes() != int64(e.WireSize()) {
+		t.Errorf("GrossBytes = %d, want %d", l.GrossBytes(), e.WireSize())
+	}
+}

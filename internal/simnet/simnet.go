@@ -1,0 +1,340 @@
+// Package simnet is a deterministic discrete-event network simulator: the
+// testbed substrate for the paper's evaluation (§7.1). Nodes run under
+// virtual, per-node-skewed clocks; message delays are seeded-pseudorandom
+// and bounded by Tprop; every transmitted byte is metered and attributed to
+// the categories Figure 5 reports (baseline payload, provenance metadata,
+// authenticators, acknowledgments).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// event is one scheduled simulator action.
+type event struct {
+	at  types.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Traffic meters transmitted bytes by category.
+type Traffic struct {
+	BaselineBytes   int64 // bare messages (what a provenance-free system sends)
+	ProvenanceBytes int64 // per-message provenance metadata (timestamps, seqnos)
+	AuthBytes       int64 // envelope commitment overhead (hash + signature)
+	AckBytes        int64 // acknowledgments
+	Envelopes       int64
+	Messages        int64
+	Acks            int64
+	PerNodeBytes    map[types.NodeID]int64 // all bytes sent by each node
+	PerNodeBaseline map[types.NodeID]int64
+}
+
+// TotalBytes returns all metered bytes.
+func (t *Traffic) TotalBytes() int64 {
+	return t.BaselineBytes + t.ProvenanceBytes + t.AuthBytes + t.AckBytes
+}
+
+// baselineSize is the wire size of a message without SNP's provenance
+// metadata (send timestamp and sequence number).
+func baselineSize(m *types.Message) int {
+	w := wire.NewWriter(64)
+	w.String(string(m.Src))
+	w.String(string(m.Dst))
+	w.Byte(byte(m.Pol))
+	m.Tuple.MarshalWire(w)
+	return w.Len()
+}
+
+// Config extends the SNooPy node config with simulator knobs.
+type Config struct {
+	Core core.Config
+	// MinDelay/MaxDelay bound message propagation (MaxDelay must stay
+	// below Core.Tprop for the quiescence assumptions to hold).
+	MinDelay types.Time
+	MaxDelay types.Time
+	// TickEvery drives node timers (batching, checkpoints, retransmits).
+	TickEvery types.Time
+	// Seed makes the run reproducible.
+	Seed int64
+	// Baseline disables all SNP machinery accounting except payload
+	// metering (used to measure the baseline system).
+	Baseline bool
+}
+
+// DefaultConfig returns simulator defaults consistent with §5.2's
+// assumptions.
+func DefaultConfig() Config {
+	return Config{
+		Core:      core.DefaultConfig(),
+		MinDelay:  5 * types.Millisecond,
+		MaxDelay:  50 * types.Millisecond,
+		TickEvery: 100 * types.Millisecond,
+		Seed:      1,
+	}
+}
+
+// Net is the simulated network plus all nodes attached to it.
+type Net struct {
+	Cfg        Config
+	Dir        *core.Directory
+	Maintainer *core.Maintainer
+	Traffic    *Traffic
+
+	nodes map[types.NodeID]*core.Node
+	order []types.NodeID
+	now   types.Time
+	queue eventHeap
+	seq   uint64
+	rng   *rand.Rand
+	skews map[types.NodeID]types.Time
+	// Partition drops packets between partitioned pairs when set.
+	Partition func(from, to types.NodeID) bool
+}
+
+// New creates an empty simulated network.
+func New(cfg Config) *Net {
+	return &Net{
+		Cfg:        cfg,
+		Dir:        core.NewDirectory(),
+		Maintainer: core.NewMaintainer(),
+		Traffic: &Traffic{
+			PerNodeBytes:    make(map[types.NodeID]int64),
+			PerNodeBaseline: make(map[types.NodeID]int64),
+		},
+		nodes: make(map[types.NodeID]*core.Node),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		skews: make(map[types.NodeID]types.Time),
+	}
+}
+
+// Now returns the global virtual time.
+func (n *Net) Now() types.Time { return n.now }
+
+// AddNode creates a node with a pooled deterministic key, registers its
+// certificate, and schedules its periodic ticks. keySeed should be unique
+// per node (e.g. its index).
+func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*core.Node, error) {
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("simnet: duplicate node %s", id)
+	}
+	key, err := cryptoutil.PooledKey(n.Cfg.Core.Suite, keySeed)
+	if err != nil {
+		return nil, err
+	}
+	n.Dir.Register(id, key.Public())
+	// Per-node clock skew in [−Δclock/2, +Δclock/2], deterministic.
+	skew := types.Time(0)
+	if n.Cfg.Core.DeltaClock > 0 {
+		skew = types.Time(n.rng.Int63n(int64(n.Cfg.Core.DeltaClock))) - n.Cfg.Core.DeltaClock/2
+	}
+	n.skews[id] = skew
+	clock := core.ClockFunc(func() types.Time {
+		t := n.now + skew
+		if t < 0 {
+			t = 0
+		}
+		return t
+	})
+	node := core.NewNode(id, n.Cfg.Core, key, n.Dir, n.Maintainer, clock, n, machine)
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return node, nil
+}
+
+// MustAddNode is AddNode that panics on error (setup-time convenience).
+func (n *Net) MustAddNode(id types.NodeID, keySeed int64, machine types.Machine) *core.Node {
+	node, err := n.AddNode(id, keySeed, machine)
+	if err != nil {
+		panic(err)
+	}
+	return node
+}
+
+// Node returns a node by ID.
+func (n *Net) Node(id types.NodeID) *core.Node { return n.nodes[id] }
+
+// Nodes implements core.Fetcher's node listing (sorted).
+func (n *Net) Nodes() []types.NodeID {
+	out := append([]types.NodeID(nil), n.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Send implements core.Sender: meter the packet and schedule its delivery.
+func (n *Net) Send(from, to types.NodeID, pkt *core.Packet) {
+	n.meter(from, pkt)
+	if n.Partition != nil && n.Partition(from, to) {
+		return
+	}
+	delay := n.Cfg.MinDelay
+	if n.Cfg.MaxDelay > n.Cfg.MinDelay {
+		delay += types.Time(n.rng.Int63n(int64(n.Cfg.MaxDelay - n.Cfg.MinDelay)))
+	}
+	dst := n.nodes[to]
+	if dst == nil {
+		return
+	}
+	n.At(n.now+delay, func() {
+		// Delivery errors model dropped packets (bad signatures etc.); the
+		// commitment protocol's retransmit/notify path covers them.
+		_ = dst.HandlePacket(from, pkt)
+	})
+}
+
+func (n *Net) meter(from types.NodeID, pkt *core.Packet) {
+	switch pkt.Kind {
+	case core.PktEnvelope:
+		env := pkt.Envelope
+		var base int64
+		for i := range env.Msgs {
+			base += int64(baselineSize(&env.Msgs[i]))
+		}
+		full := int64(pkt.WireSize())
+		payload := int64(env.PayloadSize())
+		n.Traffic.BaselineBytes += base
+		n.Traffic.ProvenanceBytes += payload - base
+		n.Traffic.AuthBytes += full - payload
+		n.Traffic.Envelopes++
+		n.Traffic.Messages += int64(len(env.Msgs))
+		n.Traffic.PerNodeBytes[from] += full
+		n.Traffic.PerNodeBaseline[from] += base
+	case core.PktAck:
+		sz := int64(pkt.WireSize())
+		n.Traffic.AckBytes += sz
+		n.Traffic.Acks++
+		n.Traffic.PerNodeBytes[from] += sz
+	}
+}
+
+// At schedules fn at virtual time t (clamped to now).
+func (n *Net) At(t types.Time, fn func()) {
+	if t < n.now {
+		t = n.now
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: t, seq: n.seq, fn: fn})
+}
+
+// Periodic schedules fn every interval in [start, end).
+func (n *Net) Periodic(start, interval, end types.Time, fn func()) {
+	for t := start; t < end; t += interval {
+		n.At(t, fn)
+	}
+}
+
+// Run processes events until the queue is empty or virtual time passes
+// until.
+func (n *Net) Run(until types.Time) {
+	// Schedule node ticks lazily so nodes added after New are covered.
+	if n.Cfg.TickEvery > 0 {
+		for _, id := range n.Nodes() {
+			node := n.nodes[id]
+			n.Periodic(n.now+n.Cfg.TickEvery, n.Cfg.TickEvery, until, node.Tick)
+		}
+	}
+	for n.queue.Len() > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.at > until {
+			heap.Push(&n.queue, ev) // keep it for a later Run
+			n.now = until
+			return
+		}
+		n.now = ev.at
+		ev.fn()
+	}
+	n.now = until
+}
+
+// ---------------------------------------------------------------------------
+// core.Fetcher implementation (the querier's control plane).
+
+// Retrieve implements core.Fetcher.
+func (n *Net) Retrieve(node types.NodeID, req core.RetrieveRequest) (*core.RetrieveResponse, error) {
+	nd := n.nodes[node]
+	if nd == nil {
+		return nil, fmt.Errorf("simnet: unknown node %s", node)
+	}
+	return nd.HandleRetrieve(req)
+}
+
+// LatestAuth implements core.Fetcher.
+func (n *Net) LatestAuth(node types.NodeID) (seclog.Authenticator, error) {
+	nd := n.nodes[node]
+	if nd == nil {
+		return seclog.Authenticator{}, fmt.Errorf("simnet: unknown node %s", node)
+	}
+	return nd.LatestAuth()
+}
+
+// AuthsAbout implements core.Fetcher.
+func (n *Net) AuthsAbout(observer, target types.NodeID, t1, t2 types.Time) []seclog.Authenticator {
+	nd := n.nodes[observer]
+	if nd == nil {
+		return nil
+	}
+	return nd.AuthsAbout(target, t1, t2)
+}
+
+// NewQuerier builds a query session against this network using the given
+// machine factory for replay.
+func (n *Net) NewQuerier(factory types.MachineFactory) *core.Querier {
+	auditor := core.NewAuditor(n.Cfg.Core, n.Dir, factory, n.Maintainer)
+	return core.NewQuerier(auditor, n)
+}
+
+// LogStats aggregates per-node log growth (Figure 6).
+type LogStats struct {
+	Nodes      int
+	GrossBytes int64 // all appended entries
+	CkptBytes  int64 // checkpoint entries only
+	Entries    uint64
+}
+
+// LogStats sums log sizes across nodes.
+func (n *Net) LogStats() LogStats {
+	var s LogStats
+	for _, id := range n.Nodes() {
+		node := n.nodes[id]
+		s.Nodes++
+		s.GrossBytes += node.Log.GrossBytes()
+		s.Entries += node.Log.Len()
+		for seq := node.Log.FirstSeq(); seq <= node.Log.Len(); seq++ {
+			if e := node.Log.EntryAt(seq); e.Type == seclog.ECkpt {
+				s.CkptBytes += int64(e.WireSize())
+			}
+		}
+	}
+	return s
+}
+
+// CryptoStats sums per-node crypto operation counts (Figure 7).
+func (n *Net) CryptoStats() cryptoutil.StatsSnapshot {
+	var sum cryptoutil.StatsSnapshot
+	for _, id := range n.Nodes() {
+		sum = sum.Add(n.nodes[id].Stats.Snapshot())
+	}
+	return sum
+}

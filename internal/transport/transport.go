@@ -1,0 +1,287 @@
+// Package transport runs SNooPy nodes over real TCP sockets (stdlib net),
+// complementing the deterministic simulator: the same core.Node, the same
+// commitment protocol, but wall-clock time and genuine concurrency. It is
+// the deployment path for the library outside experiments.
+//
+// Framing is trivial: a 4-byte big-endian length, a 1-byte packet kind,
+// then the wire-encoded envelope or ack. Each node listens on its own
+// address; a Cluster serializes delivery into each node (core.Node is
+// single-threaded by contract).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// WallClock is a core.Clock over time.Now.
+type WallClock struct{}
+
+// Now implements core.Clock.
+func (WallClock) Now() types.Time { return types.Time(time.Now().UnixNano()) }
+
+// Cluster manages a set of local nodes reachable over TCP. It implements
+// core.Sender (outbound) and dispatches inbound packets into the owning
+// node under a per-node lock.
+type Cluster struct {
+	mu        sync.Mutex
+	addrs     map[types.NodeID]string
+	nodes     map[types.NodeID]*member
+	listeners []net.Listener
+	conns     map[types.NodeID]net.Conn // outbound, lazily dialed
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type member struct {
+	mu   sync.Mutex
+	node *core.Node
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{
+		addrs: make(map[types.NodeID]string),
+		nodes: make(map[types.NodeID]*member),
+		conns: make(map[types.NodeID]net.Conn),
+	}
+}
+
+// AddPeer registers the address of a node (possibly in another process).
+func (c *Cluster) AddPeer(id types.NodeID, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[id] = addr
+}
+
+// Serve starts accepting packets for a local node on addr ("host:0" picks a
+// free port). It returns the bound address.
+func (c *Cluster) Serve(node *core.Node, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.listeners = append(c.listeners, ln)
+	c.addrs[node.ID] = ln.Addr().String()
+	m := &member{node: node}
+	c.nodes[node.ID] = m
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				defer conn.Close()
+				c.serveConn(m, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (c *Cluster) serveConn(m *member, conn net.Conn) {
+	for {
+		from, pkt, err := readPacket(conn)
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		_ = m.node.HandlePacket(from, pkt)
+		m.mu.Unlock()
+	}
+}
+
+// Send implements core.Sender.
+func (c *Cluster) Send(from, to types.NodeID, pkt *core.Packet) {
+	conn, err := c.dial(to)
+	if err != nil {
+		return // unreachable peer: the retransmit path will retry
+	}
+	if err := writePacket(conn, from, pkt); err != nil {
+		c.mu.Lock()
+		delete(c.conns, to)
+		c.mu.Unlock()
+		conn.Close()
+	}
+}
+
+func (c *Cluster) dial(to types.NodeID) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("transport: cluster closed")
+	}
+	if conn, ok := c.conns[to]; ok {
+		return conn, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %s", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[to] = conn
+	return conn, nil
+}
+
+// With runs fn with exclusive access to a local node (drivers use it to
+// insert tuples safely alongside inbound traffic).
+func (c *Cluster) With(id types.NodeID, fn func(*core.Node)) error {
+	c.mu.Lock()
+	m, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no local node %s", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m.node)
+	return nil
+}
+
+// TickAll drives every local node's timers once.
+func (c *Cluster) TickAll() {
+	c.mu.Lock()
+	ids := make([]types.NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		_ = c.With(id, func(n *core.Node) { n.Tick() })
+	}
+}
+
+// Close shuts down listeners and connections.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	for _, ln := range c.listeners {
+		ln.Close()
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[types.NodeID]net.Conn)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// core.Fetcher over local nodes (queries contact nodes through With).
+
+// Retrieve implements core.Fetcher for local nodes.
+func (c *Cluster) Retrieve(node types.NodeID, req core.RetrieveRequest) (resp *core.RetrieveResponse, err error) {
+	werr := c.With(node, func(n *core.Node) { resp, err = n.HandleRetrieve(req) })
+	if werr != nil {
+		return nil, werr
+	}
+	return resp, err
+}
+
+// LatestAuth implements core.Fetcher.
+func (c *Cluster) LatestAuth(node types.NodeID) (seclog.Authenticator, error) {
+	var auth seclog.Authenticator
+	var err error
+	werr := c.With(node, func(n *core.Node) { auth, err = n.LatestAuth() })
+	if werr != nil {
+		return auth, werr
+	}
+	return auth, err
+}
+
+// AuthsAbout implements core.Fetcher.
+func (c *Cluster) AuthsAbout(observer, target types.NodeID, t1, t2 types.Time) []seclog.Authenticator {
+	var out []seclog.Authenticator
+	_ = c.With(observer, func(n *core.Node) { out = n.AuthsAbout(target, t1, t2) })
+	return out
+}
+
+// Nodes implements core.Fetcher (local nodes only).
+func (c *Cluster) Nodes() []types.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]types.NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+func writePacket(conn net.Conn, from types.NodeID, pkt *core.Packet) error {
+	w := wire.NewWriter(256)
+	w.String(string(from))
+	w.Byte(byte(pkt.Kind))
+	switch pkt.Kind {
+	case core.PktEnvelope:
+		pkt.Envelope.MarshalWire(w)
+	case core.PktAck:
+		pkt.Ack.MarshalWire(w)
+	default:
+		return fmt.Errorf("transport: cannot frame packet kind %d", pkt.Kind)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(w.Len()))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(w.Bytes())
+	return err
+}
+
+func readPacket(conn net.Conn) (types.NodeID, *core.Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return "", nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return "", nil, err
+	}
+	r := wire.NewReader(buf)
+	from := types.NodeID(r.String())
+	kind := core.PacketKind(r.Byte())
+	pkt := &core.Packet{Kind: kind}
+	switch kind {
+	case core.PktEnvelope:
+		pkt.Envelope = new(core.Envelope)
+		r.Value(pkt.Envelope)
+	case core.PktAck:
+		pkt.Ack = new(core.Ack)
+		r.Value(pkt.Ack)
+	default:
+		return "", nil, fmt.Errorf("transport: unknown packet kind %d", kind)
+	}
+	if err := r.Finish(); err != nil {
+		return "", nil, err
+	}
+	return from, pkt, nil
+}

@@ -1,0 +1,293 @@
+// Package wire implements a canonical, deterministic binary encoding.
+//
+// Every byte that SNooPy hashes, signs, or sends over the network is produced
+// by this package, so the encoding must be stable: the same logical value
+// always encodes to the same bytes, regardless of map iteration order or
+// platform. The format is a simple length-prefixed scheme:
+//
+//   - unsigned integers: LEB128 varint
+//   - signed integers: zig-zag varint
+//   - byte strings: varint length followed by the raw bytes
+//   - composites: fields concatenated in a fixed, documented order
+//
+// The package is also the source of truth for message sizes in the
+// evaluation harness: len(Writer.Bytes()) is the wire size of a value.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Marshaler is implemented by types that can append their canonical
+// encoding to a Writer.
+type Marshaler interface {
+	MarshalWire(w *Writer)
+}
+
+// Unmarshaler is implemented by types that can decode themselves from a
+// Reader.
+type Unmarshaler interface {
+	UnmarshalWire(r *Reader) error
+}
+
+// A Writer accumulates a canonical encoding. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the Writer's internal
+// buffer and is invalidated by further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset discards all written data, retaining the buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint appends an unsigned varint.
+func (w *Writer) Uint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Int appends a signed (zig-zag) varint.
+func (w *Writer) Int(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Bool appends a boolean as a single byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Byte appends a single raw byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Float appends a float64 as its IEEE-754 bits (big endian, fixed width).
+func (w *Writer) Float(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) BytesField(b []byte) {
+	w.Uint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends bytes without a length prefix. Use only for fixed-width data.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Value appends a Marshaler.
+func (w *Writer) Value(m Marshaler) { m.MarshalWire(w) }
+
+// Errors returned by Reader.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrOverflow  = errors.New("wire: varint overflows 64 bits")
+	ErrTrailing  = errors.New("wire: trailing bytes after value")
+)
+
+// A Reader decodes values produced by a Writer. Decoding methods record the
+// first error encountered; subsequent calls return zero values, so a decode
+// sequence can run unconditionally and check Err once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many undecoded bytes remain.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uint decodes an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	switch {
+	case n > 0:
+		r.off += n
+		return v
+	case n == 0:
+		r.fail(ErrTruncated)
+	default:
+		r.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Int decodes a signed (zig-zag) varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	switch {
+	case n > 0:
+		r.off += n
+		return v
+	case n == 0:
+		r.fail(ErrTruncated)
+	default:
+		r.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if r.err != nil {
+		return false
+	}
+	if b > 1 {
+		r.fail(fmt.Errorf("wire: invalid bool byte %#x", b))
+		return false
+	}
+	return b == 1
+}
+
+// Byte decodes a single raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Float decodes a float64.
+func (r *Reader) Float() float64 {
+	b := r.Raw(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// BytesField decodes a length-prefixed byte string. The result is a copy.
+func (r *Reader) BytesField() []byte {
+	n := r.Uint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Raw returns the next n bytes without a length prefix. The returned slice
+// aliases the Reader's buffer.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.buf)-r.off {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Value decodes into an Unmarshaler.
+func (r *Reader) Value(m Unmarshaler) {
+	if r.err != nil {
+		return
+	}
+	if err := m.UnmarshalWire(r); err != nil {
+		r.fail(err)
+	}
+}
+
+// Encode returns the canonical encoding of m.
+func Encode(m Marshaler) []byte {
+	w := NewWriter(64)
+	m.MarshalWire(w)
+	return w.Bytes()
+}
+
+// Decode decodes buf into m and verifies the buffer is fully consumed.
+func Decode(buf []byte, m Unmarshaler) error {
+	r := NewReader(buf)
+	r.Value(m)
+	if r.err != nil {
+		return r.err
+	}
+	return r.Finish()
+}
+
+// Size returns the encoded size of m in bytes.
+func Size(m Marshaler) int {
+	w := NewWriter(64)
+	m.MarshalWire(w)
+	return w.Len()
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "testing"
+
+func TestBGPTraceDeterministic(t *testing.T) {
+	a := BGPTrace(7, 500, 6, 100)
+	b := BGPTrace(7, 500, 6, 100)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBGPTraceWellFormed(t *testing.T) {
+	trace := BGPTrace(1, 1000, 4, 50)
+	live := map[string]bool{}
+	withdraws := 0
+	for _, u := range trace {
+		if u.Origin < 0 || u.Origin >= 4 {
+			t.Fatalf("origin out of range: %v", u)
+		}
+		if u.Withdraw {
+			withdraws++
+			if !live[u.Prefix] {
+				t.Fatalf("withdraw of unannounced prefix: %v", u)
+			}
+			delete(live, u.Prefix)
+		} else {
+			if live[u.Prefix] {
+				t.Fatalf("duplicate announce: %v", u)
+			}
+			live[u.Prefix] = true
+		}
+	}
+	if withdraws == 0 {
+		t.Error("trace has no withdrawals")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	splits := Corpus(3, 5, 2048)
+	if len(splits) != 5 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	for i, s := range splits {
+		if len(s) < 2048 {
+			t.Errorf("split %d too small: %d bytes", i, len(s))
+		}
+	}
+	again := Corpus(3, 5, 2048)
+	for i := range splits {
+		if splits[i] != again[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCountWord(t *testing.T) {
+	if got := CountWord([]string{"a b a", "b a"}, "a"); got != 3 {
+		t.Errorf("CountWord = %d, want 3", got)
+	}
+}
