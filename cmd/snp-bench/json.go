@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+// BenchResult is one benchmark's wall-clock cost and reported metric series,
+// mirroring what `go test -bench` prints for the same name. NsPerOp is the
+// steady-state (process-warm) mean, like go test's; ColdNsPerOp is the
+// first run in a fresh-cache state, so the two together separate algorithmic
+// wins from verification-cache warm-up.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	ColdNsPerOp int64              `json:"cold_ns_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// BenchFile is the schema of BENCH_results.json. Baseline carries the
+// results of an earlier revision (typically the previous PR) so speedups are
+// computable without checking out old code.
+type BenchFile struct {
+	GeneratedBy    string        `json:"generated_by"`
+	Scale          float64       `json:"scale"`
+	Results        []BenchResult `json:"results"`
+	Baseline       []BenchResult `json:"baseline,omitempty"`
+	BaselineSource string        `json:"baseline_source,omitempty"`
+}
+
+// benchName converts a config name to the benchmark naming scheme
+// ("Chord-Small" → "ChordSmall").
+func benchName(prefix string, cfg eval.ConfigName) string {
+	return "Benchmark" + prefix + strings.ReplaceAll(string(cfg), "-", "")
+}
+
+// timed runs f once as a separately timed warmup and then iters times,
+// returning (steady-state mean, warmup duration). The mean matches what
+// `go test -bench -benchtime=<iters>x` reports as ns/op (the benchmark
+// framework's sizing probe plays the role of the warmup run there):
+// process-warm state — key pools and the verification cache — is included,
+// which is also the steady state of a long-lived node or audit service. The
+// warmup duration is the cold cost of the same workload.
+func timed(iters int, f func() error) (mean, cold time.Duration, err error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, 0, err
+	}
+	cold = time.Since(start)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), cold, nil
+}
+
+func writeJSONResults(path, baselinePath string, iters int, o eval.Options) error {
+	if iters < 1 {
+		iters = 1
+	}
+	// Load the baseline first: a bad path should fail before, not after,
+	// minutes of benchmark runs.
+	var prev *BenchFile
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		prev = new(BenchFile)
+		if err := json.Unmarshal(raw, prev); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	var results []BenchResult
+
+	// One run per configuration covers the Fig5 and Fig6 series; the run
+	// itself is what the Fig5/Fig6 go benchmarks time.
+	for _, cfg := range eval.AllConfigs {
+		var res *eval.RunResult
+		d, cold, err := timed(iters, func() (e error) { res, e = eval.Run(cfg, o); return })
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg, err)
+		}
+		f5 := eval.Figure5(res)
+		results = append(results, BenchResult{
+			Name: benchName("Fig5", cfg), NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
+			Metrics: map[string]float64{
+				"traffic-factor": f5.Factor,
+				"baseline-bytes": float64(f5.BaselineBytes),
+				"auth-bytes":     float64(f5.AuthBytes),
+				"ack-bytes":      float64(f5.AckBytes),
+				"messages":       float64(f5.Messages),
+			},
+		})
+		f6 := eval.Figure6(res)
+		results = append(results, BenchResult{
+			Name: benchName("Fig6", cfg), NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
+			Metrics: map[string]float64{
+				"MB/min/node": f6.MBPerMin,
+				"ckpt-bytes":  float64(f6.CkptBytes),
+			},
+		})
+	}
+
+	// The Fig8 query benchmarks: a fresh run plus the query, like the go
+	// benchmarks (which re-run the config inside the timed loop).
+	queries := []struct {
+		name string
+		run  func() (eval.Fig8Row, error)
+	}{
+		{"BenchmarkFig8QuaggaDisappear", func() (eval.Fig8Row, error) {
+			res, err := eval.Run(eval.Quagga, o)
+			if err != nil {
+				return eval.Fig8Row{}, err
+			}
+			return eval.QuaggaDisappearQuery(res)
+		}},
+		{"BenchmarkFig8QuaggaBadGadget", func() (eval.Fig8Row, error) {
+			res, err := eval.Run(eval.Quagga, o)
+			if err != nil {
+				return eval.Fig8Row{}, err
+			}
+			return eval.QuaggaBadGadgetQuery(res)
+		}},
+		{"BenchmarkFig8ChordLookupSmall", func() (eval.Fig8Row, error) {
+			res, err := eval.Run(eval.ChordSmall, o)
+			if err != nil {
+				return eval.Fig8Row{}, err
+			}
+			return eval.ChordLookupQuery(res)
+		}},
+		{"BenchmarkFig8ChordLookupLarge", func() (eval.Fig8Row, error) {
+			res, err := eval.Run(eval.ChordLarge, o)
+			if err != nil {
+				return eval.Fig8Row{}, err
+			}
+			return eval.ChordLookupQuery(res)
+		}},
+		{"BenchmarkFig4HadoopSquirrel", func() (eval.Fig8Row, error) {
+			res, err := eval.Run(eval.HadoopSmall, o)
+			if err != nil {
+				return eval.Fig8Row{}, err
+			}
+			return eval.HadoopSquirrelQuery(res)
+		}},
+	}
+	for _, q := range queries {
+		var row eval.Fig8Row
+		d, cold, err := timed(iters, func() (e error) { row, e = q.run(); return })
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.name, err)
+		}
+		results = append(results, BenchResult{
+			Name: q.name, NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
+			Metrics: map[string]float64{
+				"dl-bytes":        float64(row.LogBytes + row.AuthBytes + row.CkptBytes),
+				"answer-vertices": float64(row.Answer),
+				"turnaround-ms":   row.Turnaround.Seconds() * 1000,
+			},
+		})
+	}
+
+	out := BenchFile{
+		GeneratedBy: "snp-bench -json",
+		Scale:       float64(o.Scale),
+		Results:     results,
+	}
+	if prev != nil {
+		out.Baseline = prev.Results
+		out.BaselineSource = baselinePath
+		if prev.GeneratedBy != "" {
+			out.BaselineSource = baselinePath + " (" + prev.GeneratedBy + ")"
+		}
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

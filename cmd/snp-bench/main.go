@@ -1,10 +1,15 @@
-// snp-bench regenerates the paper's evaluation figures as text tables.
+// snp-bench regenerates the paper's evaluation figures as text tables, and
+// optionally emits a machine-readable benchmark file so the performance
+// trajectory can be tracked across PRs.
 //
 // Usage:
 //
 //	snp-bench                  # all figures at the default scale
 //	snp-bench -fig 5           # one figure
 //	snp-bench -scale 0.2       # larger (slower, closer to the paper) runs
+//	snp-bench -json BENCH_results.json -baseline old.json
+//	                           # write wall-clock + metrics per benchmark,
+//	                           # carrying old.json's results as the baseline
 package main
 
 import (
@@ -21,7 +26,18 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.String("json", "", "write machine-readable results (name → ns/op + metrics) to this file and exit")
+	baseline := flag.String("baseline", "", "previous -json output to embed as the baseline for comparison")
+	benchScale := flag.Float64("bench-scale", 0.02, "workload scale used for -json runs (matches go test -bench)")
+	iters := flag.Int("iters", 3, "iterations per benchmark for -json (ns/op is the mean, like go test -benchtime=Nx)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeJSONResults(*jsonOut, *baseline, *iters, eval.Options{Scale: eval.Scale(*benchScale), Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed}
 	run := func(name string) bool { return *fig == "all" || *fig == name }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/seclog"
@@ -35,10 +36,17 @@ type Node struct {
 
 	outQ       map[types.NodeID][]types.Message
 	queueSince map[types.NodeID]types.Time
+	// dstOrder holds the destinations with queued messages, sorted;
+	// maintained incrementally because the unbatched path flushes (and
+	// previously sorted) after every single event.
+	dstOrder []types.NodeID
 
 	outstanding map[types.MessageID]*pendingEnvelope
-	lastEntryT  types.Time
-	lastCkpt    types.Time
+	// outOrder holds outstanding envelope IDs sorted by (Dst, Seq), the
+	// order Tick's retransmit scan needs.
+	outOrder   []types.MessageID
+	lastEntryT types.Time
+	lastCkpt   types.Time
 
 	// Fault-injection hooks; nil on correct nodes. Tamper rewrites the
 	// machine's outputs before they are logged and sent (a compromised
@@ -171,6 +179,9 @@ func (n *Node) step(ev types.Event) {
 		n.outQ[m.Dst] = append(n.outQ[m.Dst], m)
 		if _, ok := n.queueSince[m.Dst]; !ok {
 			n.queueSince[m.Dst] = ev.Time
+			if i, found := slices.BinarySearch(n.dstOrder, m.Dst); !found {
+				n.dstOrder = slices.Insert(n.dstOrder, i, m.Dst)
+			}
 		}
 	}
 	if n.cfg.Tbatch == 0 {
@@ -178,15 +189,13 @@ func (n *Node) step(ev types.Event) {
 	}
 }
 
-// flushAll transmits every queued envelope.
+// flushAll transmits every queued envelope, in destination order.
 func (n *Node) flushAll() {
-	dsts := make([]string, 0, len(n.outQ))
-	for d := range n.outQ {
-		dsts = append(dsts, string(d))
+	if len(n.dstOrder) == 0 {
+		return
 	}
-	sort.Strings(dsts)
-	for _, d := range dsts {
-		n.flush(types.NodeID(d))
+	for _, d := range append([]types.NodeID(nil), n.dstOrder...) {
+		n.flush(d)
 	}
 }
 
@@ -199,6 +208,9 @@ func (n *Node) flush(dst types.NodeID) {
 	}
 	delete(n.outQ, dst)
 	delete(n.queueSince, dst)
+	if i, found := slices.BinarySearch(n.dstOrder, dst); found {
+		n.dstOrder = slices.Delete(n.dstOrder, i, i+1)
+	}
 	t := n.now()
 	prev := append([]byte(nil), n.Log.HeadHash()...)
 	seq := n.Log.Append(&seclog.Entry{T: t, Type: seclog.ESnd, Msgs: msgs})
@@ -207,7 +219,11 @@ func (n *Node) flush(dst types.NodeID) {
 		panic(fmt.Sprintf("core: signing failed on %s: %v", n.ID, err))
 	}
 	env := &Envelope{Msgs: msgs, PrevHash: prev, T: t, Sig: sig, Seq: seq}
-	n.outstanding[msgs[0].ID()] = &pendingEnvelope{dst: dst, env: env, prevHash: prev, sent: t}
+	id := msgs[0].ID()
+	n.outstanding[id] = &pendingEnvelope{dst: dst, env: env, prevHash: prev, sent: t}
+	if i, found := slices.BinarySearchFunc(n.outOrder, id, cmpOutID); !found {
+		n.outOrder = slices.Insert(n.outOrder, i, id)
+	}
 	if n.net != nil {
 		n.net.Send(n.ID, dst, &Packet{Kind: PktEnvelope, Envelope: env})
 	}
@@ -307,7 +323,19 @@ func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
 		PeerPrevHash: ack.PrevHash, PeerTime: ack.T, PeerSig: ack.Sig, PeerSeq: ack.Seq,
 		EnvSig: pend.env.Sig})
 	delete(n.outstanding, ack.IDs[0])
+	if i, found := slices.BinarySearchFunc(n.outOrder, ack.IDs[0], cmpOutID); found {
+		n.outOrder = slices.Delete(n.outOrder, i, i+1)
+	}
 	return nil
+}
+
+// cmpOutID orders outstanding envelope IDs by (Dst, Seq) — the retransmit
+// scan order (Src is always the local node).
+func cmpOutID(a, b types.MessageID) int {
+	if c := cmp.Compare(a.Dst, b.Dst); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Seq, b.Seq)
 }
 
 // ---------------------------------------------------------------------------
@@ -318,31 +346,17 @@ func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
 func (n *Node) Tick() {
 	t := n.now()
 	// Flush batches older than Tbatch.
-	if n.cfg.Tbatch > 0 {
-		dsts := make([]string, 0, len(n.queueSince))
-		for d := range n.queueSince {
-			dsts = append(dsts, string(d))
-		}
-		sort.Strings(dsts)
-		for _, d := range dsts {
-			if t-n.queueSince[types.NodeID(d)] >= n.cfg.Tbatch {
-				n.flush(types.NodeID(d))
+	if n.cfg.Tbatch > 0 && len(n.dstOrder) > 0 {
+		for _, d := range append([]types.NodeID(nil), n.dstOrder...) {
+			if t-n.queueSince[d] >= n.cfg.Tbatch {
+				n.flush(d)
 			}
 		}
 	}
 	// Retransmit unacknowledged envelopes once after Tprop; notify the
-	// maintainer after 2·Tprop (§5.4).
-	ids := make([]types.MessageID, 0, len(n.outstanding))
-	for id := range n.outstanding {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Dst != ids[j].Dst {
-			return ids[i].Dst < ids[j].Dst
-		}
-		return ids[i].Seq < ids[j].Seq
-	})
-	for _, id := range ids {
+	// maintainer after 2·Tprop (§5.4). outOrder is maintained sorted by
+	// (Dst, Seq), so no per-tick sort is needed.
+	for _, id := range n.outOrder {
 		pend := n.outstanding[id]
 		age := t - pend.sent
 		if age > n.cfg.Tprop && !pend.retried && n.net != nil {

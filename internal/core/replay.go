@@ -129,13 +129,13 @@ func (a *Auditor) Replay(node types.NodeID, resp *RetrieveResponse, evidence sec
 	// authenticator if it checks out, otherwise the evidence we held.
 	auth := evidence
 	if resp.NewAuth != nil && resp.NewAuth.Node == node && resp.NewAuth.Seq >= auth.Seq {
-		if resp.NewAuth.Verify(pub) {
+		a.Stats.CountVerify()
+		if resp.NewAuth.VerifyCounted(a.Stats, pub) {
 			auth = *resp.NewAuth
 		} else {
 			a.fail(node, resp.NewAuth.Seq, "returned an invalid fresh authenticator")
 		}
 	}
-	a.Stats.CountVerify()
 	hashes, err := seg.VerifyAgainst(a.suite, a.Stats, pub, auth)
 	if err != nil {
 		a.fail(node, auth.Seq, "log does not match authenticator: %v", err)
@@ -359,10 +359,13 @@ func (a *Auditor) equivocation(node types.NodeID, seq uint64, c1, c2 *impliedCom
 // (from the consistency check of §5.5) against an audited node's chain.
 func (a *Auditor) CheckAuthenticator(auth seclog.Authenticator) {
 	pub, err := a.dir.Key(auth.Node)
-	if err != nil || !auth.Verify(pub) {
-		return // not valid evidence
+	if err != nil {
+		return // unknown signer; nothing to verify
 	}
 	a.Stats.CountVerify()
+	if !auth.VerifyCounted(a.Stats, pub) {
+		return // not valid evidence
+	}
 	audited, ok := a.covered[auth.Node]
 	if !ok {
 		return

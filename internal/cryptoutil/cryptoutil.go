@@ -221,15 +221,101 @@ func PooledKey(s Suite, seed int64) (PrivateKey, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Verification cache.
+//
+// SNP re-verifies the same commitments many times: a signature checked when
+// an envelope arrives is checked again for every audit that replays the
+// receiver's log, and authenticators are re-verified on every ack round and
+// segment audit. Signature verification is pure, so the result can be
+// memoized on (public key, signed material, signature). The cache stores
+// only booleans; it cannot change any outcome, only skip repeat work.
+
+// verifyCacheMaxEntries bounds cache memory; the cache is reset (not LRU
+// evicted) when full, which keeps the fast path branch-free.
+const verifyCacheMaxEntries = 1 << 20
+
+// VerifyCache memoizes signature-verification results. The zero value is not
+// usable; use NewVerifyCache. All methods are safe for concurrent use.
+type VerifyCache struct {
+	mu sync.RWMutex
+	m  map[[sha256.Size]byte]bool
+}
+
+// NewVerifyCache returns an empty cache.
+func NewVerifyCache() *VerifyCache {
+	return &VerifyCache{m: make(map[[sha256.Size]byte]bool)}
+}
+
+// DefaultVerifyCache is the process-wide cache used by seclog; nodes and
+// auditors in one process share it, which is exactly the paper's audit
+// pattern (the querier re-checks signatures the nodes checked at runtime).
+var DefaultVerifyCache = NewVerifyCache()
+
+// verifyCacheKey digests the (key, material, signature) triple into a fixed
+// 32-byte map key: length-prefixed so distinct triples cannot collide by
+// concatenation, and hashed so a full cache holds 33 bytes per entry rather
+// than the raw inputs.
+func verifyCacheKey(pub PublicKey, msg, sig []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var n [4]byte
+	p := pub.Marshal()
+	binary.BigEndian.PutUint32(n[:], uint32(len(p)))
+	h.Write(n[:])
+	h.Write(p)
+	binary.BigEndian.PutUint32(n[:], uint32(len(msg)))
+	h.Write(n[:])
+	h.Write(msg)
+	h.Write(sig)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Verify checks sig over msg under pub, memoizing the result. A cache hit is
+// recorded in stats (which may be nil); the caller remains responsible for
+// counting the *logical* verification via Stats.CountVerify, so operation
+// counts (Figure 7) are identical with and without the cache.
+func (c *VerifyCache) Verify(stats *Stats, pub PublicKey, msg, sig []byte) bool {
+	k := verifyCacheKey(pub, msg, sig)
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		stats.CountVerifyCacheHit()
+		return v
+	}
+	v = pub.Verify(msg, sig)
+	c.mu.Lock()
+	if len(c.m) >= verifyCacheMaxEntries {
+		c.m = make(map[[sha256.Size]byte]bool)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Reset empties the cache (tests and long-lived processes).
+func (c *VerifyCache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[[sha256.Size]byte]bool)
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
 // Operation accounting (used by the evaluation harness for Figure 7).
 
 // Stats counts cryptographic operations performed by one node. All methods
-// are safe for concurrent use.
+// are safe for concurrent use. Verifies counts logical verifications —
+// every signature check the protocol calls for — while VerifyCacheHits
+// counts the subset answered from the verification cache without touching
+// the CPU; Verifies-VerifyCacheHits is the number of actual public-key
+// operations performed.
 type Stats struct {
-	Signs       atomic.Uint64
-	Verifies    atomic.Uint64
-	Hashes      atomic.Uint64
-	HashedBytes atomic.Uint64
+	Signs           atomic.Uint64
+	Verifies        atomic.Uint64
+	VerifyCacheHits atomic.Uint64
+	Hashes          atomic.Uint64
+	HashedBytes     atomic.Uint64
 }
 
 // CountSign records one signature generation.
@@ -239,10 +325,17 @@ func (s *Stats) CountSign() {
 	}
 }
 
-// CountVerify records one signature verification.
+// CountVerify records one logical signature verification.
 func (s *Stats) CountVerify() {
 	if s != nil {
 		s.Verifies.Add(1)
+	}
+}
+
+// CountVerifyCacheHit records one verification answered from the cache.
+func (s *Stats) CountVerifyCacheHit() {
+	if s != nil {
+		s.VerifyCacheHits.Add(1)
 	}
 }
 
@@ -257,27 +350,30 @@ func (s *Stats) CountHash(n int) {
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Signs:       s.Signs.Load(),
-		Verifies:    s.Verifies.Load(),
-		Hashes:      s.Hashes.Load(),
-		HashedBytes: s.HashedBytes.Load(),
+		Signs:           s.Signs.Load(),
+		Verifies:        s.Verifies.Load(),
+		VerifyCacheHits: s.VerifyCacheHits.Load(),
+		Hashes:          s.Hashes.Load(),
+		HashedBytes:     s.HashedBytes.Load(),
 	}
 }
 
 // StatsSnapshot is an immutable copy of Stats.
 type StatsSnapshot struct {
-	Signs       uint64
-	Verifies    uint64
-	Hashes      uint64
-	HashedBytes uint64
+	Signs           uint64
+	Verifies        uint64
+	VerifyCacheHits uint64
+	Hashes          uint64
+	HashedBytes     uint64
 }
 
 // Add returns the element-wise sum of two snapshots.
 func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Signs:       a.Signs + b.Signs,
-		Verifies:    a.Verifies + b.Verifies,
-		Hashes:      a.Hashes + b.Hashes,
-		HashedBytes: a.HashedBytes + b.HashedBytes,
+		Signs:           a.Signs + b.Signs,
+		Verifies:        a.Verifies + b.Verifies,
+		VerifyCacheHits: a.VerifyCacheHits + b.VerifyCacheHits,
+		Hashes:          a.Hashes + b.Hashes,
+		HashedBytes:     a.HashedBytes + b.HashedBytes,
 	}
 }

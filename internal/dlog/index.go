@@ -1,0 +1,217 @@
+package dlog
+
+import (
+	"slices"
+
+	"repro/internal/types"
+)
+
+// relStore holds one relation's facts with incrementally maintained
+// key-sorted iteration order and lazily built per-attribute indexes.
+//
+// Iteration order is kept sorted by tuple key — not insertion order — so
+// join results fire in exactly the order the original full-scan-plus-sort
+// evaluator produced them; every downstream artifact (message sequence
+// numbers, aggregate tie-breaks, graph vertex creation order) is therefore
+// bit-identical, while the per-join O(n log n) sort becomes an O(1) slice
+// read. Indexes map an argument position to (value → sorted fact keys), so
+// a join level with a bound argument scans only the matching bucket.
+type relStore struct {
+	byKey map[string]*fact
+	keys  []string                         // all fact keys, sorted
+	idx   map[int]map[types.Value][]string // arg position → value → sorted keys
+}
+
+func newRelStore() *relStore {
+	return &relStore{byKey: make(map[string]*fact)}
+}
+
+func insertSorted(s []string, k string) []string {
+	i, found := slices.BinarySearch(s, k)
+	if found {
+		return s
+	}
+	return slices.Insert(s, i, k)
+}
+
+func removeSorted(s []string, k string) []string {
+	i, found := slices.BinarySearch(s, k)
+	if !found {
+		return s
+	}
+	return slices.Delete(s, i, i+1)
+}
+
+func (r *relStore) add(f *fact) {
+	k := f.tuple.Key()
+	if _, dup := r.byKey[k]; dup {
+		return
+	}
+	r.byKey[k] = f
+	r.keys = insertSorted(r.keys, k)
+	for p, buckets := range r.idx {
+		if p < len(f.tuple.Args) {
+			v := f.tuple.Args[p]
+			buckets[v] = insertSorted(buckets[v], k)
+		}
+	}
+}
+
+func (r *relStore) remove(f *fact) {
+	k := f.tuple.Key()
+	if _, ok := r.byKey[k]; !ok {
+		return
+	}
+	delete(r.byKey, k)
+	r.keys = removeSorted(r.keys, k)
+	for p, buckets := range r.idx {
+		if p < len(f.tuple.Args) {
+			v := f.tuple.Args[p]
+			b := removeSorted(buckets[v], k)
+			if len(b) == 0 {
+				delete(buckets, v)
+			} else {
+				buckets[v] = b
+			}
+		}
+	}
+}
+
+// ensureIdx returns the index for argument position p, building it from the
+// current facts on first use; it is maintained by add/remove afterwards.
+func (r *relStore) ensureIdx(p int) map[types.Value][]string {
+	if b, ok := r.idx[p]; ok {
+		return b
+	}
+	if r.idx == nil {
+		r.idx = make(map[int]map[types.Value][]string)
+	}
+	b := make(map[types.Value][]string)
+	for _, k := range r.keys { // keys are sorted, so buckets come out sorted
+		f := r.byKey[k]
+		if p < len(f.tuple.Args) {
+			b[f.tuple.Args[p]] = append(b[f.tuple.Args[p]], k)
+		}
+	}
+	r.idx[p] = b
+	return b
+}
+
+// candidateKeys returns a snapshot of the keys of facts that can possibly
+// unify with atom under the current binding: the smallest index bucket among
+// the atom's bound argument positions, or every fact when none is bound. The
+// snapshot is a copy because rule firings triggered during the join may
+// mutate the store; looking each key up again at visit time reproduces the
+// original evaluator's semantics for facts deleted mid-join.
+func (r *relStore) candidateKeys(atom cAtom, bf *bindFrame) []string {
+	best := r.keys
+	haveBound := false
+	for p, t := range atom {
+		var v types.Value
+		if t.slot >= 0 {
+			if !bf.set[t.slot] {
+				continue
+			}
+			v = bf.vals[t.slot]
+		} else {
+			v = t.val
+		}
+		bucket := r.ensureIdx(p)[v]
+		if !haveBound || len(bucket) < len(best) {
+			best = bucket
+			haveBound = true
+		}
+		if len(best) == 0 {
+			break
+		}
+	}
+	return append([]string(nil), best...)
+}
+
+// sortedSnapshot returns a copy of all fact keys in sorted order.
+func (r *relStore) sortedSnapshot() []string {
+	return append([]string(nil), r.keys...)
+}
+
+// bindFrame is the positional binding state of one join: values indexed by
+// variable slot, with a trail of newly bound slots so backtracking unbinds
+// instead of copying.
+type bindFrame struct {
+	vals  []types.Value
+	set   []bool
+	trail []int
+}
+
+func newBindFrame(nvars int) *bindFrame {
+	return &bindFrame{
+		vals:  make([]types.Value, nvars),
+		set:   make([]bool, nvars),
+		trail: make([]int, 0, nvars),
+	}
+}
+
+// mark returns the current trail position; undo unbinds everything bound
+// since the matching mark.
+func (bf *bindFrame) mark() int { return len(bf.trail) }
+
+func (bf *bindFrame) undo(mark int) {
+	for i := len(bf.trail) - 1; i >= mark; i-- {
+		bf.set[bf.trail[i]] = false
+	}
+	bf.trail = bf.trail[:mark]
+}
+
+// unifyC matches tup against a compiled atom, extending bf. On failure the
+// frame is restored to its state at entry. The caller guarantees the
+// relation matches.
+func unifyC(atom cAtom, tup types.Tuple, bf *bindFrame) bool {
+	if len(atom) != len(tup.Args) {
+		return false
+	}
+	mark := bf.mark()
+	for i, t := range atom {
+		a := tup.Args[i]
+		if t.slot >= 0 {
+			if bf.set[t.slot] {
+				if bf.vals[t.slot] != a {
+					bf.undo(mark)
+					return false
+				}
+			} else {
+				bf.vals[t.slot] = a
+				bf.set[t.slot] = true
+				bf.trail = append(bf.trail, t.slot)
+			}
+		} else if t.val != a {
+			bf.undo(mark)
+			return false
+		}
+	}
+	return true
+}
+
+// substituteC builds the head tuple from a compiled atom and binding frame.
+func substituteC(rel string, atom cAtom, bf *bindFrame) types.Tuple {
+	args := make([]types.Value, len(atom))
+	for i, t := range atom {
+		if t.slot >= 0 {
+			args[i] = bf.vals[t.slot]
+		} else {
+			args[i] = t.val
+		}
+	}
+	return types.MakeTuple(rel, args...)
+}
+
+// evalTermsC evaluates compiled builtin arguments.
+func evalTermsC(terms []cTerm, bf *bindFrame) []types.Value {
+	out := make([]types.Value, len(terms))
+	for i, t := range terms {
+		if t.slot >= 0 {
+			out[i] = bf.vals[t.slot]
+		} else {
+			out[i] = t.val
+		}
+	}
+	return out
+}

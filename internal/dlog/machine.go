@@ -1,8 +1,8 @@
 package dlog
 
 import (
-	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -34,11 +34,25 @@ type support struct {
 }
 
 func (s support) key() string {
-	k := fmt.Sprintf("%d|%s|%s", s.kind, s.rule, s.origin)
+	n := 4 + len(s.rule) + len(s.origin)
 	for _, b := range s.body {
-		k += "|" + b.Key()
+		n += 1 + len(b.Key())
 	}
-	return k
+	var sb strings.Builder
+	sb.Grow(n)
+	// kind is a single digit (0..3); the format matches the historical
+	// fmt.Sprintf("%d|%s|%s", ...) byte for byte, because support-key order
+	// determines snapshot encoding order and thus checkpoint hashes.
+	sb.WriteByte('0' + byte(s.kind))
+	sb.WriteByte('|')
+	sb.WriteString(s.rule)
+	sb.WriteByte('|')
+	sb.WriteString(string(s.origin))
+	for _, b := range s.body {
+		sb.WriteByte('|')
+		sb.WriteString(b.Key())
+	}
+	return sb.String()
 }
 
 // fact is one stored tuple plus its supports.
@@ -95,7 +109,7 @@ type Machine struct {
 	self types.NodeID
 
 	facts map[string]*fact
-	byRel map[string]map[string]*fact
+	rels  map[string]*relStore
 	deps  map[string]map[dep]bool
 	aggs  map[int]*aggState // rule index -> state
 
@@ -116,7 +130,7 @@ func NewMachine(prog *Program, self types.NodeID) *Machine {
 		prog:  prog,
 		self:  self,
 		facts: make(map[string]*fact),
-		byRel: make(map[string]map[string]*fact),
+		rels:  make(map[string]*relStore),
 		deps:  make(map[string]map[dep]bool),
 		aggs:  make(map[int]*aggState),
 		seqs:  make(map[types.NodeID]uint64),
@@ -207,12 +221,12 @@ func (m *Machine) addSupport(tup types.Tuple, sup support, replaces []types.Tupl
 			supports: make(map[string]support),
 		}
 		m.facts[tup.Key()] = f
-		rel := m.byRel[tup.Rel]
+		rel := m.rels[tup.Rel]
 		if rel == nil {
-			rel = make(map[string]*fact)
-			m.byRel[tup.Rel] = rel
+			rel = newRelStore()
+			m.rels[tup.Rel] = rel
 		}
-		rel[tup.Key()] = f
+		rel.add(f)
 	}
 	sk := sup.key()
 	if _, dup := f.supports[sk]; dup {
@@ -314,7 +328,9 @@ func (m *Machine) removeSupport(factKey, supKey, attributedRule string, attribut
 func (m *Machine) deactivate(f *fact) {
 	key := f.tuple.Key()
 	delete(m.facts, key)
-	delete(m.byRel[f.tuple.Rel], key)
+	if rel := m.rels[f.tuple.Rel]; rel != nil {
+		rel.remove(f)
+	}
 	if f.outbound {
 		m.send(f.tuple, types.PolDisappear)
 		return
@@ -408,8 +424,8 @@ func (m *Machine) fireEventAgg(r *compiledRule, matches []evMatch) {
 // joinFrom seeds the join with tup bound at body position pos and extends
 // it across the remaining atoms, firing the rule for every complete match.
 func (m *Machine) joinFrom(ri int, r *compiledRule, pos int, tup types.Tuple) {
-	binding := map[string]types.Value{}
-	if !unify(r.Body[pos], tup, binding) {
+	bf := newBindFrame(r.nvars)
+	if !unifyC(r.cBody[pos], tup, bf) {
 		return
 	}
 	matched := make([]types.Tuple, len(r.Body))
@@ -420,44 +436,69 @@ func (m *Machine) joinFrom(ri int, r *compiledRule, pos int, tup types.Tuple) {
 			rest = append(rest, i)
 		}
 	}
-	m.joinRest(ri, r, rest, binding, matched)
+	m.joinRest(ri, r, rest, bf, matched)
 }
 
-func (m *Machine) joinRest(ri int, r *compiledRule, rest []int, binding map[string]types.Value, matched []types.Tuple) {
+func (m *Machine) joinRest(ri int, r *compiledRule, rest []int, bf *bindFrame, matched []types.Tuple) {
 	if len(rest) == 0 {
-		m.fire(ri, r, binding, matched)
+		m.fire(ri, r, bf, matched)
 		return
 	}
 	pos, tail := rest[0], rest[1:]
-	atom := r.Body[pos]
-	for _, fk := range sortedFactKeys(m.byRel[atom.Rel]) {
-		f := m.byRel[atom.Rel][fk]
+	rel := m.rels[r.Body[pos].Rel]
+	if rel == nil {
+		return
+	}
+	for _, fk := range rel.candidateKeys(r.cBody[pos], bf) {
+		f := rel.byKey[fk]
 		if f == nil || !f.active() || f.outbound {
 			continue
 		}
-		ext := copyBinding(binding)
-		if !unify(atom, f.tuple, ext) {
+		mark := bf.mark()
+		if !unifyC(r.cBody[pos], f.tuple, bf) {
 			continue
 		}
 		matched[pos] = f.tuple
-		m.joinRest(ri, r, tail, ext, matched)
+		m.joinRest(ri, r, tail, bf, matched)
 		matched[pos] = types.Tuple{}
+		bf.undo(mark)
 	}
 }
 
 // fire applies assignments and conditions, then executes the rule action.
-func (m *Machine) fire(ri int, r *compiledRule, binding map[string]types.Value, matched []types.Tuple) {
-	for _, as := range r.Assigns {
-		args := evalTerms(as.Args, binding)
-		binding[as.Var] = m.prog.funcs[as.Fn](args)
+// The binding frame is restored before returning so the caller's join can
+// continue with the next candidate.
+func (m *Machine) fire(ri int, r *compiledRule, bf *bindFrame, matched []types.Tuple) {
+	mark := bf.mark()
+	// Assignment destinations that were already bound (a rebinding) must be
+	// restored by value; the trail only restores freshly bound slots.
+	var savedSlots []int
+	var savedVals []types.Value
+	for _, as := range r.cAssigns {
+		v := as.fn(evalTermsC(as.args, bf))
+		if bf.set[as.slot] {
+			savedSlots = append(savedSlots, as.slot)
+			savedVals = append(savedVals, bf.vals[as.slot])
+		} else {
+			bf.set[as.slot] = true
+			bf.trail = append(bf.trail, as.slot)
+		}
+		bf.vals[as.slot] = v
 	}
-	for _, c := range r.Conds {
-		v := m.prog.funcs[c.Fn](evalTerms(c.Args, binding))
+	restore := func() {
+		bf.undo(mark)
+		for i := len(savedSlots) - 1; i >= 0; i-- {
+			bf.vals[savedSlots[i]] = savedVals[i]
+		}
+	}
+	for _, c := range r.cConds {
+		v := c.fn(evalTermsC(c.args, bf))
 		ok := v.Kind == types.KindInt && v.Int != 0
-		if c.Negate {
+		if c.negate {
 			ok = !ok
 		}
 		if !ok {
+			restore()
 			return
 		}
 	}
@@ -466,17 +507,20 @@ func (m *Machine) fire(ri int, r *compiledRule, binding map[string]types.Value, 
 	if r.Agg != nil {
 		if r.Action == ActEvent {
 			*m.collecting = append(*m.collecting, evMatch{
-				head:  substitute(r.Head, binding),
-				group: groupKey(r.Agg, binding),
-				over:  binding[r.Agg.Over],
+				head:  substituteC(r.Head.Rel, r.cHead, bf),
+				group: groupKeyC(r, bf),
+				over:  bf.vals[r.aggOverSlot],
 				body:  body,
 			})
+			restore()
 			return
 		}
-		m.aggAddMatch(ri, r, binding, body)
+		m.aggAddMatch(ri, r, bf, body)
+		restore()
 		return
 	}
-	head := substitute(r.Head, binding)
+	head := substituteC(r.Head.Rel, r.cHead, bf)
+	restore()
 	switch r.Action {
 	case ActDerive:
 		m.addSupport(head, support{kind: supDerive, rule: r.Name, body: body, since: m.now}, nil)
@@ -509,13 +553,17 @@ func (m *Machine) fireEvent(head types.Tuple, rule string, body []types.Tuple) {
 func (m *Machine) storeFact(r *compiledRule, head types.Tuple, body []types.Tuple) {
 	var replaces []types.Tuple
 	if r.ReplaceKey > 0 {
-		for _, fk := range sortedFactKeys(m.byRel[head.Rel]) {
-			f := m.byRel[head.Rel][fk]
-			if f == nil || !f.active() || f.tuple.Equal(head) {
-				continue
-			}
-			if samePrefix(f.tuple, head, r.ReplaceKey) {
-				replaces = append(replaces, f.tuple)
+		if rel := m.rels[head.Rel]; rel != nil {
+			// The replacement key covers Args[0], so the position-0 index
+			// bucket holds every candidate, already in sorted key order.
+			for _, fk := range rel.ensureIdx(0)[head.Args[0]] {
+				f := rel.byKey[fk]
+				if f == nil || !f.active() || f.tuple.Equal(head) {
+					continue
+				}
+				if samePrefix(f.tuple, head, r.ReplaceKey) {
+					replaces = append(replaces, f.tuple)
+				}
 			}
 		}
 	}
@@ -538,33 +586,48 @@ func samePrefix(a, b types.Tuple, n int) bool {
 // ---------------------------------------------------------------------------
 // Aggregation.
 
-func groupKey(agg *Agg, binding map[string]types.Value) string {
-	k := ""
-	for _, g := range agg.GroupBy {
-		k += binding[g].String() + "|"
+// groupKeyC renders the group-by values as the group identity string (the
+// same "v1|v2|" format the map-based evaluator produced, since group-key
+// sort order breaks aggregate ties).
+func groupKeyC(r *compiledRule, bf *bindFrame) string {
+	var sb strings.Builder
+	for _, s := range r.aggGroupSlots {
+		sb.WriteString(bf.vals[s].String())
+		sb.WriteByte('|')
 	}
-	return k
+	return sb.String()
 }
 
-func (m *Machine) aggAddMatch(ri int, r *compiledRule, binding map[string]types.Value, body []types.Tuple) {
-	st := m.aggs[ri]
-	id := ""
+func matchID(body []types.Tuple) string {
+	n := 0
 	for _, b := range body {
-		id += b.Key() + ";"
+		n += len(b.Key()) + 1
 	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for _, b := range body {
+		sb.WriteString(b.Key())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func (m *Machine) aggAddMatch(ri int, r *compiledRule, bf *bindFrame, body []types.Tuple) {
+	st := m.aggs[ri]
+	id := matchID(body)
 	if _, ok := st.matches[id]; ok {
 		return
 	}
 	am := &aggMatch{
 		id:    id,
 		body:  body,
-		group: groupKey(r.Agg, binding),
-		over:  binding[r.Agg.Over],
+		group: groupKeyC(r, bf),
+		over:  bf.vals[r.aggOverSlot],
 	}
 	if r.Agg.Fn != AggCount {
-		am.head = substitute(r.Head, binding)
+		am.head = substituteC(r.Head.Rel, r.cHead, bf)
 	} else {
-		am.head = substituteCount(r.Head, binding, r.Agg.Over, 0) // placeholder; count filled at recompute
+		am.head = substituteCountC(r, bf, 0) // placeholder; count filled at recompute
 	}
 	st.matches[id] = am
 	if st.byGroup[am.group] == nil {
@@ -698,22 +761,21 @@ func (m *Machine) aggRecompute(ri int, r *compiledRule, group string) {
 	}
 }
 
-// substituteCount builds a count-rule head with the count value substituted
-// for the Over variable.
-func substituteCount(head Atom, binding map[string]types.Value, over string, n int64) types.Tuple {
-	args := make([]types.Value, len(head.Terms))
-	for i, t := range head.Terms {
-		if t.IsVar {
-			if t.Var == over {
-				args[i] = types.I(n)
-			} else {
-				args[i] = binding[t.Var]
-			}
-		} else {
-			args[i] = t.Val
+// substituteCountC builds a count-rule head with the count value substituted
+// for the Over variable's slot.
+func substituteCountC(r *compiledRule, bf *bindFrame, n int64) types.Tuple {
+	args := make([]types.Value, len(r.cHead))
+	for i, t := range r.cHead {
+		switch {
+		case t.slot == r.aggOverSlot:
+			args[i] = types.I(n)
+		case t.slot >= 0:
+			args[i] = bf.vals[t.slot]
+		default:
+			args[i] = t.val
 		}
 	}
-	return types.MakeTuple(head.Rel, args...)
+	return types.MakeTuple(r.Head.Rel, args...)
 }
 
 // substituteCountTuple rewrites the placeholder count in a previously built
@@ -726,61 +788,6 @@ func substituteCountTuple(head types.Tuple, r *compiledRule, n int64) types.Tupl
 		}
 	}
 	return types.MakeTuple(head.Rel, args...)
-}
-
-// ---------------------------------------------------------------------------
-// Unification and substitution.
-
-func unify(atom Atom, tup types.Tuple, binding map[string]types.Value) bool {
-	if atom.Rel != tup.Rel || len(atom.Terms) != len(tup.Args) {
-		return false
-	}
-	for i, t := range atom.Terms {
-		if t.IsVar {
-			if v, ok := binding[t.Var]; ok {
-				if v != tup.Args[i] {
-					return false
-				}
-			} else {
-				binding[t.Var] = tup.Args[i]
-			}
-		} else if t.Val != tup.Args[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func substitute(head Atom, binding map[string]types.Value) types.Tuple {
-	args := make([]types.Value, len(head.Terms))
-	for i, t := range head.Terms {
-		if t.IsVar {
-			args[i] = binding[t.Var]
-		} else {
-			args[i] = t.Val
-		}
-	}
-	return types.MakeTuple(head.Rel, args...)
-}
-
-func evalTerms(terms []Term, binding map[string]types.Value) []types.Value {
-	out := make([]types.Value, len(terms))
-	for i, t := range terms {
-		if t.IsVar {
-			out[i] = binding[t.Var]
-		} else {
-			out[i] = t.Val
-		}
-	}
-	return out
-}
-
-func copyBinding(b map[string]types.Value) map[string]types.Value {
-	c := make(map[string]types.Value, len(b))
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
 }
 
 // ---------------------------------------------------------------------------
@@ -819,9 +826,13 @@ func (m *Machine) Lookup(tup types.Tuple) bool {
 
 // TuplesOf returns the active, non-outbound tuples of one relation.
 func (m *Machine) TuplesOf(rel string) []types.Tuple {
+	r := m.rels[rel]
+	if r == nil {
+		return nil
+	}
 	var out []types.Tuple
-	for _, fk := range sortedFactKeys(m.byRel[rel]) {
-		f := m.byRel[rel][fk]
+	for _, fk := range r.keys {
+		f := r.byKey[fk]
 		if f != nil && f.active() && !f.outbound {
 			out = append(out, f.tuple)
 		}
@@ -878,7 +889,7 @@ func (m *Machine) Snapshot() []byte {
 func (m *Machine) Restore(snapshot []byte) error {
 	r := wire.NewReader(snapshot)
 	m.facts = make(map[string]*fact)
-	m.byRel = make(map[string]map[string]*fact)
+	m.rels = make(map[string]*relStore)
 	m.deps = make(map[string]map[dep]bool)
 	m.seqs = make(map[types.NodeID]uint64)
 	for i := range m.prog.rules {
@@ -942,10 +953,12 @@ func (m *Machine) Restore(snapshot []byte) error {
 			}
 		}
 		m.facts[tup.Key()] = f
-		if m.byRel[tup.Rel] == nil {
-			m.byRel[tup.Rel] = make(map[string]*fact)
+		rel := m.rels[tup.Rel]
+		if rel == nil {
+			rel = newRelStore()
+			m.rels[tup.Rel] = rel
 		}
-		m.byRel[tup.Rel][tup.Key()] = f
+		rel.add(f)
 	}
 	if err := r.Finish(); err != nil {
 		return err
@@ -966,9 +979,12 @@ func (m *Machine) rebuildAgg() {
 		m.aggs[ri] = newAggState()
 		// Re-seed from every active fact of the first body relation.
 		first := r.bodyOrder[0]
-		atom := r.Body[first]
-		for _, fk := range sortedFactKeys(m.byRel[atom.Rel]) {
-			f := m.byRel[atom.Rel][fk]
+		rel := m.rels[r.Body[first].Rel]
+		if rel == nil {
+			continue
+		}
+		for _, fk := range rel.sortedSnapshot() {
+			f := rel.byKey[fk]
 			if f == nil || !f.active() || f.outbound {
 				continue
 			}
@@ -981,15 +997,6 @@ func (m *Machine) rebuildAgg() {
 // Deterministic iteration helpers.
 
 func sortedKeys(m map[string]support) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortedFactKeys(m map[string]*fact) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -176,6 +176,94 @@ type compiledRule struct {
 	// (if any) first, then the rest in declaration order.
 	bodyOrder []int
 	eventAtom int // index into Body of the event atom, or -1
+
+	// Positional binding plan: every variable in the rule is assigned an
+	// integer slot at compile time, so evaluation uses flat value slices
+	// instead of map[string]Value bindings (and backtracks via a trail
+	// instead of copying the map at every join level).
+	nvars         int
+	slots         map[string]int
+	cBody         []cAtom // per body atom, parallel to Body
+	cHead         cAtom
+	cAssigns      []cCall
+	cConds        []cCall
+	aggOverSlot   int   // slot of Agg.Over, or -1
+	aggGroupSlots []int // slots of Agg.GroupBy
+}
+
+// cTerm is a compiled term: a variable slot (slot >= 0) or a constant.
+type cTerm struct {
+	slot int
+	val  types.Value
+}
+
+// cAtom is a body or head atom with its terms compiled to slots.
+type cAtom []cTerm
+
+// cCall is a compiled assignment or condition: a resolved builtin applied to
+// compiled terms. For assignments, slot is the destination; for conditions,
+// negate flips the truth test.
+type cCall struct {
+	fn     Func
+	args   []cTerm
+	slot   int
+	negate bool
+}
+
+// compileSlots builds the positional binding plan for a validated rule.
+// Slot order follows first appearance (body in declaration order, then
+// assigns, then the count variable), which is arbitrary but fixed.
+func (p *Program) compileSlots(cr *compiledRule) {
+	r := cr.Rule
+	cr.slots = make(map[string]int)
+	slotOf := func(v string) int {
+		s, ok := cr.slots[v]
+		if !ok {
+			s = cr.nvars
+			cr.slots[v] = s
+			cr.nvars++
+		}
+		return s
+	}
+	compileTerms := func(terms []Term) []cTerm {
+		out := make([]cTerm, len(terms))
+		for i, t := range terms {
+			if t.IsVar {
+				out[i] = cTerm{slot: slotOf(t.Var)}
+			} else {
+				out[i] = cTerm{slot: -1, val: t.Val}
+			}
+		}
+		return out
+	}
+	cr.cBody = make([]cAtom, len(r.Body))
+	for i, a := range r.Body {
+		cr.cBody[i] = compileTerms(a.Terms)
+	}
+	for _, as := range r.Assigns {
+		cr.cAssigns = append(cr.cAssigns, cCall{
+			fn:   p.funcs[as.Fn],
+			args: compileTerms(as.Args),
+			slot: slotOf(as.Var),
+		})
+	}
+	for _, c := range r.Conds {
+		cr.cConds = append(cr.cConds, cCall{
+			fn:     p.funcs[c.Fn],
+			args:   compileTerms(c.Args),
+			slot:   -1,
+			negate: c.Negate,
+		})
+	}
+	cr.aggOverSlot = -1
+	if r.Agg != nil {
+		cr.aggOverSlot = slotOf(r.Agg.Over)
+		cr.aggGroupSlots = make([]int, len(r.Agg.GroupBy))
+		for i, g := range r.Agg.GroupBy {
+			cr.aggGroupSlots[i] = slotOf(g)
+		}
+	}
+	cr.cHead = compileTerms(r.Head.Terms)
 }
 
 // NewProgram creates an empty program with the standard builtins
@@ -357,6 +445,7 @@ func (p *Program) AddRule(r Rule) error {
 			cr.bodyOrder = append(cr.bodyOrder, i)
 		}
 	}
+	p.compileSlots(cr)
 	p.rules = append(p.rules, cr)
 	return nil
 }

@@ -1,7 +1,7 @@
 package provgraph
 
 import (
-	"sort"
+	"strings"
 
 	"repro/internal/types"
 )
@@ -29,13 +29,15 @@ type Builder struct {
 
 	machines map[types.NodeID]types.Machine
 
-	// pending is keyed by full vertex identity (content included) so that
-	// a logged transmission only matches a machine output with identical
-	// payload; ackpend/unacked are keyed by message ID because
-	// acknowledgments reference messages by ID.
-	pending map[sendKey]*Vertex
-	ackpend map[pendKey]*Vertex
-	unacked map[pendKey]*Vertex
+	// pending is keyed by full send-vertex identity (content included) so
+	// that a logged transmission only matches a machine output with
+	// identical payload; ackpend/unacked are keyed by message ID because
+	// acknowledgments reference messages by ID. All three are grouped per
+	// node with incrementally sorted keys, because they are iterated (in
+	// sorted order, filtered by node) on every single event.
+	pending map[types.NodeID]*ordmap[string, *Vertex]
+	ackpend map[types.NodeID]*ordmap[types.MessageID, *Vertex]
+	unacked map[types.NodeID]*ordmap[types.MessageID, *Vertex]
 	nopreds map[string]bool
 
 	// MissedAckKnown reports whether the maintainer was notified about a
@@ -50,19 +52,11 @@ type Builder struct {
 	MaybeValidator func(rule string, host types.NodeID, head types.Tuple, body []types.Tuple) bool
 }
 
-type pendKey struct {
-	node types.NodeID
-	id   types.MessageID
-}
-
-type sendKey struct {
-	node types.NodeID
-	vid  string // send vertex ID (includes payload)
-}
-
-func sendKeyOf(node types.NodeID, m *types.Message) sendKey {
+// sendVID computes the send-vertex identity (payload included) a logged
+// transmission must match.
+func sendVID(m *types.Message) string {
 	probe := &Vertex{Type: VSend, Host: m.Src, Remote: m.Dst, Msg: m}
-	return sendKey{node, probe.ID()}
+	return probe.ID()
 }
 
 // NewBuilder returns a Builder over a fresh graph. factory creates the
@@ -74,10 +68,46 @@ func NewBuilder(factory types.MachineFactory, tprop types.Time) *Builder {
 		factory:  factory,
 		tprop:    tprop,
 		machines: make(map[types.NodeID]types.Machine),
-		pending:  make(map[sendKey]*Vertex),
-		ackpend:  make(map[pendKey]*Vertex),
-		unacked:  make(map[pendKey]*Vertex),
+		pending:  make(map[types.NodeID]*ordmap[string, *Vertex]),
+		ackpend:  make(map[types.NodeID]*ordmap[types.MessageID, *Vertex]),
+		unacked:  make(map[types.NodeID]*ordmap[types.MessageID, *Vertex]),
 		nopreds:  make(map[string]bool),
+	}
+}
+
+func (b *Builder) pendingFor(i types.NodeID) *ordmap[string, *Vertex] {
+	om := b.pending[i]
+	if om == nil {
+		om = newOrdmap[string, *Vertex](strings.Compare)
+		b.pending[i] = om
+	}
+	return om
+}
+
+func (b *Builder) ackpendFor(i types.NodeID) *ordmap[types.MessageID, *Vertex] {
+	om := b.ackpend[i]
+	if om == nil {
+		om = newOrdmap[types.MessageID, *Vertex](cmpMessageID)
+		b.ackpend[i] = om
+	}
+	return om
+}
+
+func (b *Builder) unackedFor(i types.NodeID) *ordmap[types.MessageID, *Vertex] {
+	om := b.unacked[i]
+	if om == nil {
+		om = newOrdmap[types.MessageID, *Vertex](cmpMessageID)
+		b.unacked[i] = om
+	}
+	return om
+}
+
+// delUnackedIf removes node's unacked entry for id if it is exactly v.
+func (b *Builder) delUnackedIf(node types.NodeID, id types.MessageID, v *Vertex) {
+	if om := b.unacked[node]; om != nil {
+		if cur, ok := om.get(id); ok && cur == v {
+			om.del(id)
+		}
 	}
 }
 
@@ -147,32 +177,40 @@ func (b *Builder) HandleEvent(ev types.Event) {
 // within 2·Tprop and for which the maintainer was not notified. end gives
 // each node's final local time.
 func (b *Builder) Finalize(end map[types.NodeID]types.Time) {
-	for _, k := range b.sortedSendKeys(b.pending) {
-		v := b.pending[k]
-		b.G.SetColor(v, Red)
-		delete(b.pending, k)
-		if cur, ok := b.unacked[pendKey{k.node, v.Msg.ID()}]; ok && cur == v {
-			delete(b.unacked, pendKey{k.node, v.Msg.ID()})
+	for _, node := range sortedNodeKeys(b.pending) {
+		om := b.pending[node]
+		for _, vid := range om.snapshot() {
+			v, _ := om.get(vid)
+			b.G.SetColor(v, Red)
+			om.del(vid)
+			b.delUnackedIf(node, v.Msg.ID(), v)
 		}
 	}
-	for _, k := range b.sortedKeys(b.ackpend) {
-		b.G.SetColor(b.ackpend[k], Red)
-		delete(b.ackpend, k)
+	for _, node := range sortedNodeKeys(b.ackpend) {
+		om := b.ackpend[node]
+		for _, id := range om.snapshot() {
+			v, _ := om.get(id)
+			b.G.SetColor(v, Red)
+			om.del(id)
+		}
 	}
-	for _, k := range b.sortedKeys(b.unacked) {
-		v := b.unacked[k]
-		t, ok := end[k.node]
-		if !ok || v.T1 >= t-2*b.tprop {
-			continue // too recent to judge
+	for _, node := range sortedNodeKeys(b.unacked) {
+		om := b.unacked[node]
+		t, okT := end[node]
+		for _, id := range om.snapshot() {
+			v, _ := om.get(id)
+			if !okT || v.T1 >= t-2*b.tprop {
+				continue // too recent to judge
+			}
+			if b.MissedAckKnown != nil && b.MissedAckKnown(node, id) {
+				// The sender reported the missing ack; the fault is known and
+				// cannot be attributed to the sender (§5.4).
+				om.del(id)
+				continue
+			}
+			b.G.SetColor(v, Red)
+			om.del(id)
 		}
-		if b.MissedAckKnown != nil && b.MissedAckKnown(k.node, k.id) {
-			// The sender reported the missing ack; the fault is known and
-			// cannot be attributed to the sender (§5.4).
-			delete(b.unacked, k)
-			continue
-		}
-		b.G.SetColor(v, Red)
-		delete(b.unacked, k)
 	}
 }
 
@@ -229,29 +267,31 @@ func (b *Builder) handleEventSnd(ev types.Event) {
 	if ev.IsAck() {
 		// i acknowledges a message it received earlier: the receive vertex
 		// is no longer provisional.
-		k := pendKey{i, *ev.AckID}
-		if v1, ok := b.ackpend[k]; ok {
-			delete(b.ackpend, k)
-			b.G.SetColor(v1, Black)
+		if om := b.ackpend[i]; om != nil {
+			if v1, ok := om.get(*ev.AckID); ok {
+				om.del(*ev.AckID)
+				b.G.SetColor(v1, Black)
+			}
 		}
 		b.flagAckpend(i)
 		return
 	}
 	m := ev.Msg
-	k := sendKeyOf(i, m)
-	if _, ok := b.pending[k]; ok {
-		// The send was produced by the machine with identical content:
-		// legitimate.
-		delete(b.pending, k)
-	} else {
-		// The history records a transmission the machine never produced:
-		// fabricated traffic (Lemma 3, cases 1 and 3).
-		v2 := b.addSendVertex(m, nil, ev.Time)
-		if cur, ok := b.unacked[pendKey{i, m.ID()}]; ok && cur == v2 {
-			delete(b.unacked, pendKey{i, m.ID()})
+	vid := sendVID(m)
+	if om := b.pending[i]; om != nil {
+		if _, ok := om.get(vid); ok {
+			// The send was produced by the machine with identical content:
+			// legitimate.
+			om.del(vid)
+			b.flagAckpend(i)
+			return
 		}
-		b.G.SetColor(v2, Red)
 	}
+	// The history records a transmission the machine never produced:
+	// fabricated traffic (Lemma 3, cases 1 and 3).
+	v2 := b.addSendVertex(m, nil, ev.Time)
+	b.delUnackedIf(i, m.ID(), v2)
+	b.G.SetColor(v2, Red)
 	b.flagAckpend(i)
 }
 
@@ -264,20 +304,23 @@ func (b *Builder) handleEventRcv(ev types.Event) {
 		// i received an acknowledgment for its own message: the ack proves
 		// the peer received it, so the peer's receive vertex exists and i's
 		// send vertex turns black.
-		k := pendKey{i, *ev.AckID}
-		v1, ok := b.unacked[k]
+		om := b.unacked[i]
+		if om == nil {
+			return
+		}
+		v1, ok := om.get(*ev.AckID)
 		if !ok {
 			return // ack for an unknown message; ignore
 		}
 		rcv := b.addReceiveVertex(v1.Msg, ev.AckTime)
 		_ = rcv
-		delete(b.unacked, k)
+		om.del(*ev.AckID)
 		b.G.SetColor(v1, Black)
 		return
 	}
 	m := ev.Msg
 	v1 := b.addReceiveVertex(m, ev.Time)
-	b.ackpend[pendKey{i, m.ID()}] = v1
+	b.ackpendFor(i).set(m.ID(), v1)
 	switch m.Pol {
 	case types.PolAppear:
 		b.appearRemoteTuple(i, m.Tuple, m.Src, v1, ev.Time)
@@ -322,7 +365,7 @@ func (b *Builder) handleOutput(i types.NodeID, out types.Output, t types.Time) {
 			vwhy = b.G.FirstInstant(VAppear, i, m.Tuple, t)
 		}
 		v1 := b.addSendVertex(m, vwhy, t)
-		b.pending[sendKeyOf(i, m)] = v1
+		b.pendingFor(i).set(sendVID(m), v1)
 	}
 }
 
@@ -456,35 +499,33 @@ func (b *Builder) disappearRemoteTuple(i types.NodeID, tup types.Tuple, j types.
 
 func (b *Builder) flagAllPending(i types.NodeID, t types.Time) {
 	b.flagAckpend(i)
-	for _, k := range b.sortedSendKeys(b.pending) {
-		if k.node != i {
-			continue
-		}
-		v := b.pending[k]
-		b.G.SetColor(v, Red)
-		delete(b.pending, k)
-		if cur, ok := b.unacked[pendKey{i, v.Msg.ID()}]; ok && cur == v {
-			delete(b.unacked, pendKey{i, v.Msg.ID()})
+	if om := b.pending[i]; om != nil && om.size() > 0 {
+		for _, vid := range om.snapshot() {
+			v, _ := om.get(vid)
+			b.G.SetColor(v, Red)
+			om.del(vid)
+			b.delUnackedIf(i, v.Msg.ID(), v)
 		}
 	}
-	for _, k := range b.sortedKeys(b.unacked) {
-		if k.node != i {
-			continue
-		}
-		if v2 := b.unacked[k]; v2.T1 < t-2*b.tprop {
-			b.G.SetColor(v2, Red)
-			delete(b.unacked, k)
+	if om := b.unacked[i]; om != nil && om.size() > 0 {
+		for _, id := range om.snapshot() {
+			if v2, _ := om.get(id); v2.T1 < t-2*b.tprop {
+				b.G.SetColor(v2, Red)
+				om.del(id)
+			}
 		}
 	}
 }
 
 func (b *Builder) flagAckpend(i types.NodeID) {
-	for _, k := range b.sortedKeys(b.ackpend) {
-		if k.node != i {
-			continue
-		}
-		b.G.SetColor(b.ackpend[k], Red)
-		delete(b.ackpend, k)
+	om := b.ackpend[i]
+	if om == nil || om.size() == 0 {
+		return
+	}
+	for _, id := range om.snapshot() {
+		v, _ := om.get(id)
+		b.G.SetColor(v, Red)
+		om.del(id)
 	}
 }
 
@@ -495,7 +536,7 @@ func (b *Builder) addSendVertex(m *types.Message, vwhy *Vertex, t types.Time) *V
 		probe.Color = Yellow
 		v1 = b.G.Add(probe)
 		b.nopreds[v1.ID()] = true
-		b.unacked[pendKey{m.Src, m.ID()}] = v1
+		b.unackedFor(m.Src).set(m.ID(), v1)
 	}
 	if b.nopreds[v1.ID()] && vwhy != nil {
 		_ = b.G.AddEdge(vwhy, v1)
@@ -516,37 +557,3 @@ func (b *Builder) addReceiveVertex(m *types.Message, t types.Time) *Vertex {
 	return v1
 }
 
-func (b *Builder) sortedSendKeys(m map[sendKey]*Vertex) []sendKey {
-	keys := make([]sendKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, c int) bool {
-		if keys[a].node != keys[c].node {
-			return keys[a].node < keys[c].node
-		}
-		return keys[a].vid < keys[c].vid
-	})
-	return keys
-}
-
-func (b *Builder) sortedKeys(m map[pendKey]*Vertex) []pendKey {
-	keys := make([]pendKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, c int) bool {
-		ka, kc := keys[a], keys[c]
-		if ka.node != kc.node {
-			return ka.node < kc.node
-		}
-		if ka.id.Src != kc.id.Src {
-			return ka.id.Src < kc.id.Src
-		}
-		if ka.id.Dst != kc.id.Dst {
-			return ka.id.Dst < kc.id.Dst
-		}
-		return ka.id.Seq < kc.id.Seq
-	})
-	return keys
-}

@@ -3,6 +3,8 @@ package provgraph
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/types"
 )
@@ -44,8 +46,19 @@ func believeKey(host, origin types.NodeID, tup types.Tuple) string {
 	return string(host) + "|" + string(origin) + "|" + tup.Key()
 }
 
+// instantKey is an internal index key; it is built without fmt because the
+// GCA performs an instant lookup for every body tuple of every derivation.
 func instantKey(t VertexType, host types.NodeID, tup types.Tuple, at types.Time) string {
-	return fmt.Sprintf("%d|%s|%s|%d", t, host, tup.Key(), at)
+	var sb strings.Builder
+	sb.Grow(len(host) + len(tup.Key()) + 28)
+	sb.WriteString(strconv.FormatUint(uint64(t), 10))
+	sb.WriteByte('|')
+	sb.WriteString(string(host))
+	sb.WriteByte('|')
+	sb.WriteString(tup.Key())
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatInt(int64(at), 10))
+	return sb.String()
 }
 
 // Add inserts v if no vertex with the same ID exists and returns the vertex
@@ -159,13 +172,17 @@ func (g *Graph) AtInstant(t VertexType, host types.NodeID, tup types.Tuple, at t
 	return out
 }
 
-// FirstInstant returns the first vertex AtInstant would return, or nil.
+// FirstInstant returns the first vertex AtInstant would return, or nil. It
+// scans for the minimum ID instead of copying and sorting the bucket; this
+// is the GCA's single most frequent lookup.
 func (g *Graph) FirstInstant(t VertexType, host types.NodeID, tup types.Tuple, at types.Time) *Vertex {
-	vs := g.AtInstant(t, host, tup, at)
-	if len(vs) == 0 {
-		return nil
+	var best *Vertex
+	for _, v := range g.instant[instantKey(t, host, tup, at)] {
+		if best == nil || v.ID() < best.ID() {
+			best = v
+		}
 	}
-	return vs[0]
+	return best
 }
 
 // SetColor upgrades v's color following the dominance order

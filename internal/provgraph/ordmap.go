@@ -1,0 +1,78 @@
+package provgraph
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// ordmap is a map with incrementally maintained sorted keys. The GCA flags
+// pending sends, unacknowledged sends, and provisional receives on *every*
+// event; sorting the whole bookkeeping map each time was one of the measured
+// hot spots, so the order is kept up to date at insert/delete instead
+// (O(log n) search + O(n) memmove on mutation, O(1) on iteration).
+type ordmap[K comparable, V any] struct {
+	cmp  func(a, b K) int
+	m    map[K]V
+	keys []K
+}
+
+func newOrdmap[K comparable, V any](cmp func(a, b K) int) *ordmap[K, V] {
+	return &ordmap[K, V]{cmp: cmp, m: make(map[K]V)}
+}
+
+func (o *ordmap[K, V]) get(k K) (V, bool) {
+	v, ok := o.m[k]
+	return v, ok
+}
+
+func (o *ordmap[K, V]) size() int { return len(o.m) }
+
+func (o *ordmap[K, V]) set(k K, v V) {
+	if _, ok := o.m[k]; !ok {
+		i, _ := slices.BinarySearchFunc(o.keys, k, o.cmp)
+		o.keys = slices.Insert(o.keys, i, k)
+	}
+	o.m[k] = v
+}
+
+func (o *ordmap[K, V]) del(k K) {
+	if _, ok := o.m[k]; !ok {
+		return
+	}
+	delete(o.m, k)
+	if i, found := slices.BinarySearchFunc(o.keys, k, o.cmp); found {
+		o.keys = slices.Delete(o.keys, i, i+1)
+	}
+}
+
+// snapshot returns a copy of the sorted keys, safe to iterate while the map
+// is mutated (the flag-and-delete passes remove most of what they visit).
+func (o *ordmap[K, V]) snapshot() []K {
+	return append([]K(nil), o.keys...)
+}
+
+// cmpMessageID orders message IDs by (Src, Dst, Seq), matching the
+// historical pendKey sort.
+func cmpMessageID(a, b types.MessageID) int {
+	if c := cmp.Compare(a.Src, b.Src); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Dst, b.Dst); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Seq, b.Seq)
+}
+
+// sortedNodeKeys returns the map's node IDs in sorted order (used only at
+// Finalize, once per audit).
+func sortedNodeKeys[V any](m map[types.NodeID]V) []types.NodeID {
+	out := make([]types.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -285,9 +285,16 @@ func signedMaterial(t types.Time, hash []byte) []byte {
 	return w.Bytes()
 }
 
-// Verify checks the authenticator's signature under pub.
+// Verify checks the authenticator's signature under pub. Results are
+// memoized in the process-wide verification cache: the same authenticator is
+// presented as evidence to every audit step, so repeat checks are free.
 func (a Authenticator) Verify(pub cryptoutil.PublicKey) bool {
-	return pub.Verify(signedMaterial(a.T, a.Hash), a.Sig)
+	return cryptoutil.DefaultVerifyCache.Verify(nil, pub, signedMaterial(a.T, a.Hash), a.Sig)
+}
+
+// VerifyCounted is Verify with cache-hit accounting attributed to stats.
+func (a Authenticator) VerifyCounted(stats *cryptoutil.Stats, pub cryptoutil.PublicKey) bool {
+	return cryptoutil.DefaultVerifyCache.Verify(stats, pub, signedMaterial(a.T, a.Hash), a.Sig)
 }
 
 // ---------------------------------------------------------------------------
@@ -345,9 +352,13 @@ func ChainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *
 
 // VerifyCommitment checks a signature over (t ‖ h) — the material covered
 // by envelope and acknowledgment signatures as well as authenticators.
+// Verification is memoized: a commitment verified when it arrived on the
+// wire verifies for free when an audit replays the log that recorded it.
+// stats counts the logical verification either way (Figure 7's operation
+// counts are cache-independent).
 func VerifyCommitment(stats *cryptoutil.Stats, pub cryptoutil.PublicKey, t types.Time, hash, sig []byte) bool {
 	stats.CountVerify()
-	return pub.Verify(signedMaterial(t, hash), sig)
+	return cryptoutil.DefaultVerifyCache.Verify(stats, pub, signedMaterial(t, hash), sig)
 }
 
 // chainHash computes h_k = H(h_{k-1} ‖ t_k ‖ y_k ‖ c_k).
@@ -518,10 +529,10 @@ func (s *SegmentData) VerifyAgainst(suite cryptoutil.Suite, stats *cryptoutil.St
 	if auth.Seq < s.From || auth.Seq > s.To() {
 		return nil, fmt.Errorf("seclog: authenticator seq %d outside segment [%d..%d]", auth.Seq, s.From, s.To())
 	}
-	if !auth.Verify(pub) {
+	stats.CountVerify()
+	if !auth.VerifyCounted(stats, pub) {
 		return nil, fmt.Errorf("seclog: bad authenticator signature from %s", s.Node)
 	}
-	stats.CountVerify()
 	hashes := make([][]byte, len(s.Entries))
 	prev := s.BaseHash
 	for i, e := range s.Entries {

@@ -10,7 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
@@ -104,7 +104,7 @@ type Net struct {
 	Traffic    *Traffic
 
 	nodes map[types.NodeID]*core.Node
-	order []types.NodeID
+	order []types.NodeID // sorted; maintained incrementally by AddNode
 	now   types.Time
 	queue eventHeap
 	seq   uint64
@@ -160,7 +160,9 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 	})
 	node := core.NewNode(id, n.Cfg.Core, key, n.Dir, n.Maintainer, clock, n, machine)
 	n.nodes[id] = node
-	n.order = append(n.order, id)
+	if i, found := slices.BinarySearch(n.order, id); !found {
+		n.order = slices.Insert(n.order, i, id)
+	}
 	return node, nil
 }
 
@@ -176,11 +178,10 @@ func (n *Net) MustAddNode(id types.NodeID, keySeed int64, machine types.Machine)
 // Node returns a node by ID.
 func (n *Net) Node(id types.NodeID) *core.Node { return n.nodes[id] }
 
-// Nodes implements core.Fetcher's node listing (sorted).
+// Nodes implements core.Fetcher's node listing (sorted). The order slice is
+// kept sorted by AddNode, so this is a plain copy.
 func (n *Net) Nodes() []types.NodeID {
-	out := append([]types.NodeID(nil), n.order...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]types.NodeID(nil), n.order...)
 }
 
 // Send implements core.Sender: meter the packet and schedule its delivery.

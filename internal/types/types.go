@@ -7,6 +7,7 @@ package types
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/wire"
@@ -82,11 +83,28 @@ func (v Value) String() string {
 	case KindString:
 		return v.Str
 	case KindInt:
-		return fmt.Sprintf("%d", v.Int)
+		return strconv.FormatInt(v.Int, 10)
 	case KindNode:
 		return "@" + v.Str
 	default:
 		return fmt.Sprintf("?kind%d", v.Kind)
+	}
+}
+
+// appendTo writes the value's canonical form into sb without allocating
+// intermediate strings (the tuple-key hot path).
+func (v Value) appendTo(sb *strings.Builder) {
+	switch v.Kind {
+	case KindString:
+		sb.WriteString(v.Str)
+	case KindInt:
+		var buf [20]byte
+		sb.Write(strconv.AppendInt(buf[:0], v.Int, 10))
+	case KindNode:
+		sb.WriteByte('@')
+		sb.WriteString(v.Str)
+	default:
+		sb.WriteString(v.String())
 	}
 }
 
@@ -150,13 +168,14 @@ func MakeTuple(rel string, args ...Value) Tuple {
 
 func (t Tuple) computeKey() string {
 	var sb strings.Builder
+	sb.Grow(len(t.Rel) + 2 + 12*len(t.Args))
 	sb.WriteString(t.Rel)
 	sb.WriteByte('(')
 	for i, a := range t.Args {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(a.String())
+		a.appendTo(&sb)
 	}
 	sb.WriteByte(')')
 	return sb.String()
@@ -180,8 +199,20 @@ func (t Tuple) Loc() NodeID { return t.Args[0].Node() }
 // HasLoc reports whether the tuple has a node-valued location attribute.
 func (t Tuple) HasLoc() bool { return len(t.Args) > 0 && t.Args[0].IsNode() }
 
-// Equal reports whether two tuples are identical.
-func (t Tuple) Equal(o Tuple) bool { return t.Key() == o.Key() }
+// Equal reports whether two tuples are identical. It compares structure
+// directly (values are comparable), so it never recomputes canonical keys
+// the way a Key() comparison on a zero-cached tuple would.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Rel != o.Rel || len(t.Args) != len(o.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if t.Args[i] != o.Args[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // MarshalWire implements wire.Marshaler.
 func (t Tuple) MarshalWire(w *wire.Writer) {
