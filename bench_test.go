@@ -7,6 +7,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/eval"
 )
@@ -15,6 +16,7 @@ const benchScale = eval.Scale(0.02)
 
 func benchConfig(b *testing.B, name eval.ConfigName) *eval.RunResult {
 	b.Helper()
+	b.ReportAllocs()
 	var res *eval.RunResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -121,6 +123,7 @@ func BenchmarkFig4HadoopSquirrel(b *testing.B) {
 // --- Figure 9: Chord scalability -------------------------------------------
 
 func BenchmarkFig9ChordScalability(b *testing.B) {
+	b.ReportAllocs()
 	var rows []eval.Fig9Row
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -137,6 +140,7 @@ func BenchmarkFig9ChordScalability(b *testing.B) {
 // --- §5.6 batching ablation -------------------------------------------------
 
 func BenchmarkBatchingAblation(b *testing.B) {
+	b.ReportAllocs()
 	var without, with eval.BatchRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -150,6 +154,37 @@ func BenchmarkBatchingAblation(b *testing.B) {
 	b.ReportMetric(float64(without.Signs)/float64(with.Signs), "sign-reduction")
 }
 
+// --- Audit micro-benchmarks --------------------------------------------------
+
+// BenchmarkAuditorReplaySingleNode times one node's full audit — signature
+// and hash-chain verification, entry decoding, and deterministic replay into
+// a fresh provenance graph — which is the unit of work the parallel audit
+// pipeline distributes across workers.
+func BenchmarkAuditorReplaySingleNode(b *testing.B) {
+	res, err := eval.Run(eval.ChordSmall, eval.Options{Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := res.Net.Nodes()[0]
+	auth, err := res.Net.LatestAuth(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := res.Net.Retrieve(node, core.RetrieveRequest{Auth: auth})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auditor := core.NewAuditor(res.Net.Cfg.Core, res.Net.Dir, res.Factory, res.Net.Maintainer)
+		if err := auditor.Replay(node, resp, auth); err != nil {
+			b.Fatal(err)
+		}
+		auditor.Finalize()
+	}
+}
+
 // --- Crypto microbenches (Figure 7's unit costs, §7.6) ----------------------
 
 func BenchmarkEd25519Sign(b *testing.B) {
@@ -158,6 +193,7 @@ func BenchmarkEd25519Sign(b *testing.B) {
 		b.Fatal(err)
 	}
 	msg := make([]byte, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := key.Sign(msg); err != nil {
@@ -174,6 +210,7 @@ func BenchmarkEd25519Verify(b *testing.B) {
 	msg := make([]byte, 64)
 	sig, _ := key.Sign(msg)
 	pub := key.Public()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !pub.Verify(msg, sig) {
@@ -188,6 +225,7 @@ func BenchmarkRSASign(b *testing.B) {
 		b.Fatal(err)
 	}
 	msg := make([]byte, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := key.Sign(msg); err != nil {
@@ -204,6 +242,7 @@ func BenchmarkRSAVerify(b *testing.B) {
 	msg := make([]byte, 64)
 	sig, _ := key.Sign(msg)
 	pub := key.Public()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !pub.Verify(msg, sig) {
@@ -215,6 +254,7 @@ func BenchmarkRSAVerify(b *testing.B) {
 func BenchmarkSHA1HashKiB(b *testing.B) {
 	buf := make([]byte, 1024)
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cryptoutil.RSA1024SHA1.Hash(buf)
 	}

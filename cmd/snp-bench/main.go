@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/eval"
@@ -30,7 +32,34 @@ func main() {
 	baseline := flag.String("baseline", "", "previous -json output to embed as the baseline for comparison")
 	benchScale := flag.Float64("bench-scale", 0.02, "workload scale used for -json runs (matches go test -bench)")
 	iters := flag.Int("iters", 3, "iterations per benchmark for -json (ns/op is the mean, like go test -benchtime=Nx)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after all runs) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *jsonOut != "" {
 		if err := writeJSONResults(*jsonOut, *baseline, *iters, eval.Options{Scale: eval.Scale(*benchScale), Seed: *seed}); err != nil {

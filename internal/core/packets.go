@@ -52,11 +52,13 @@ func (e *Envelope) UnmarshalWire(r *wire.Reader) error {
 // traffic a provenance-free system would send); the remainder of the
 // envelope is SNP overhead, split for Figure 5's breakdown.
 func (e Envelope) PayloadSize() int {
-	w := wire.NewWriter(256)
+	w := wire.GetWriter()
 	for i := range e.Msgs {
 		e.Msgs[i].MarshalWire(w)
 	}
-	return w.Len()
+	n := w.Len()
+	wire.PutWriter(w)
+	return n
 }
 
 // Ack acknowledges an envelope (§5.4: (ack, t_x, h_{y−1}, t_y,

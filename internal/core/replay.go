@@ -28,13 +28,34 @@ func (f Failure) String() string {
 // all audited nodes (the querier's Gν(ε)). It also cross-checks the chain
 // positions that peers vouch for against the chains the audited nodes
 // present, which is what exposes equivocation (§5.5's consistency check).
+//
+// Auditing one node is split into two phases so that many nodes can be
+// processed concurrently without perturbing any deterministic output:
+//
+//   - Prepare — verify the segment against its authenticator, re-verify
+//     every embedded peer signature and checkpoint digest, and replay the
+//     entries through a fresh replica of the node's deterministic machine,
+//     recording the machine outputs. Prepare touches only thread-safe state
+//     (the directory, the verification cache, atomic Stats counters) and may
+//     run on any number of goroutines, one node per goroutine.
+//   - Commit — apply the prepared op stream to the shared provenance graph,
+//     merge failures and implied chain commitments, and run the
+//     equivocation cross-checks. Commits are serial and ordered by the
+//     caller, so the graph, the failure list, and every metric are
+//     bit-identical to a fully sequential audit of the same nodes in the
+//     same order.
+//
+// Replay is the sequential convenience: Prepare immediately followed by
+// Commit. All Commit-side methods (and everything else on Auditor) must be
+// called from a single goroutine.
 type Auditor struct {
 	Builder *provgraph.Builder
 	Stats   *cryptoutil.Stats
 
-	cfg   Config
-	suite cryptoutil.Suite
-	dir   *Directory
+	cfg     Config
+	suite   cryptoutil.Suite
+	dir     *Directory
+	factory types.MachineFactory
 
 	covered  map[types.NodeID]*auditedNode
 	implied  map[types.NodeID]map[uint64]*impliedCommit
@@ -78,6 +99,7 @@ func NewAuditor(cfg Config, dir *Directory, factory types.MachineFactory, maint 
 		cfg:      cfg,
 		suite:    cfg.suite(),
 		dir:      dir,
+		factory:  factory,
 		covered:  make(map[types.NodeID]*auditedNode),
 		implied:  make(map[types.NodeID]map[uint64]*impliedCommit),
 		endTimes: make(map[types.NodeID]types.Time),
@@ -103,27 +125,111 @@ func (a *Auditor) Audited(id types.NodeID) bool {
 	return ok
 }
 
-func (a *Auditor) fail(node types.NodeID, seq uint64, format string, args ...any) {
-	a.failures = append(a.failures, Failure{Node: node, Seq: seq, Reason: fmt.Sprintf(format, args...)})
+// ---------------------------------------------------------------------------
+// Prepared audits: the op stream recorded by the parallel phase.
+
+// opKind discriminates replayOps.
+type opKind uint8
+
+const (
+	opFail        opKind = iota // record a failure
+	opEvent                     // apply a GCA event with precomputed outputs
+	opSeedExist                 // seed an exist vertex from a checkpoint item
+	opSeedBelieve               // seed a believe vertex from a checkpoint item
+	opImplied                   // record an implied chain commitment for a peer
+)
+
+// replayOp is one deferred commit-side action, recorded by Prepare in
+// exactly the order the sequential auditor would have performed it.
+type replayOp struct {
+	kind opKind
+
+	fail Failure // opFail
+
+	ev   types.Event    // opEvent
+	outs []types.Output // opEvent: replica machine outputs
+
+	node   types.NodeID // opSeed*/opImplied target
+	origin types.NodeID // opSeedBelieve
+	tup    types.Tuple  // opSeed*
+	t      types.Time   // opSeed*
+	seq    uint64       // opImplied
+	commit *impliedCommit
 }
 
-// Replay verifies one retrieved segment against the evidence and replays it
-// into the shared graph. A verification error means the node could not
-// produce a log matching its own commitments — provable misbehavior, also
-// recorded as a failure.
-func (a *Auditor) Replay(node types.NodeID, resp *RetrieveResponse, evidence seclog.Authenticator) error {
-	if prior, ok := a.covered[node]; ok {
-		_ = prior
-		return nil // already replayed (one segment per node per query session)
+// PreparedAudit is the result of the thread-safe phase of one node's audit:
+// everything cryptographic and machine-deterministic is done; what remains
+// is the serial merge into the shared graph.
+type PreparedAudit struct {
+	Node types.NodeID
+
+	resp    *RetrieveResponse
+	err     error
+	ops     []replayOp
+	audited *auditedNode
+	machine types.Machine
+	endTime types.Time
+}
+
+// Err returns the verification error Prepare recorded, if any (the same
+// error Replay would have returned).
+func (p *PreparedAudit) Err() error { return p.err }
+
+// prep is the Prepare-phase accumulator. Its fail/handle methods mirror the
+// sequential auditor's, but record ops instead of mutating shared state.
+type prep struct {
+	a       *Auditor
+	node    types.NodeID
+	ops     []replayOp
+	audited *auditedNode
+	machine types.Machine
+	endTime types.Time
+}
+
+func (p *prep) fail(node types.NodeID, seq uint64, format string, args ...any) {
+	p.ops = append(p.ops, replayOp{kind: opFail,
+		fail: Failure{Node: node, Seq: seq, Reason: fmt.Sprintf(format, args...)}})
+}
+
+// machineFor lazily creates the replica machine, mirroring the sequential
+// Builder.MachineFor.
+func (p *prep) machineFor() types.Machine {
+	if p.machine == nil {
+		p.machine = p.a.factory(p.node)
 	}
+	return p.machine
+}
+
+// handleEvent mirrors Builder.HandleEvent: it steps the replica machine for
+// machine-bound events and records the event with its outputs for the
+// commit phase.
+func (p *prep) handleEvent(ev types.Event) {
+	var outs []types.Output
+	if provgraph.StepsMachine(ev) {
+		outs = p.machineFor().Step(ev)
+	}
+	p.ops = append(p.ops, replayOp{kind: opEvent, ev: ev, outs: outs})
+}
+
+// Prepare runs the parallel phase of auditing one node: it verifies the
+// retrieved segment against the evidence and replays it through a replica
+// machine, recording every commit-side action. Prepare does not read or
+// write any Auditor state that Commit mutates, so distinct nodes may be
+// prepared concurrently (and concurrently with commits of other nodes).
+func (a *Auditor) Prepare(node types.NodeID, resp *RetrieveResponse, evidence seclog.Authenticator) *PreparedAudit {
+	p := &prep{a: a, node: node}
+	out := &PreparedAudit{Node: node, resp: resp}
 	seg := resp.Segment
 	if seg.Node != node {
-		a.fail(node, 0, "returned a segment for %s", seg.Node)
-		return fmt.Errorf("core: segment node mismatch")
+		p.fail(node, 0, "returned a segment for %s", seg.Node)
+		out.ops = p.ops
+		out.err = fmt.Errorf("core: segment node mismatch")
+		return out
 	}
 	pub, err := a.dir.Key(node)
 	if err != nil {
-		return err
+		out.err = err
+		return out
 	}
 	// Pick the freshest valid commitment to verify against: the new
 	// authenticator if it checks out, otherwise the evidence we held.
@@ -133,80 +239,139 @@ func (a *Auditor) Replay(node types.NodeID, resp *RetrieveResponse, evidence sec
 		if resp.NewAuth.VerifyCounted(a.Stats, pub) {
 			auth = *resp.NewAuth
 		} else {
-			a.fail(node, resp.NewAuth.Seq, "returned an invalid fresh authenticator")
+			p.fail(node, resp.NewAuth.Seq, "returned an invalid fresh authenticator")
 		}
 	}
 	hashes, err := seg.VerifyAgainst(a.suite, a.Stats, pub, auth)
 	if err != nil {
-		a.fail(node, auth.Seq, "log does not match authenticator: %v", err)
-		return err
+		p.fail(node, auth.Seq, "log does not match authenticator: %v", err)
+		out.ops = p.ops
+		out.err = err
+		return out
 	}
 	// Evidence older than the fresh authenticator must also lie on this
 	// chain (otherwise the node forked its log).
 	if evidence.Node == node && evidence.Seq != auth.Seq &&
 		evidence.Seq >= seg.From && evidence.Seq <= seg.To() {
 		if !bytes.Equal(hashes[evidence.Seq-seg.From], evidence.Hash) {
-			a.fail(node, evidence.Seq, "evidence authenticator is not on the returned chain (fork)")
+			p.fail(node, evidence.Seq, "evidence authenticator is not on the returned chain (fork)")
 		}
 	}
 
-	audited := &auditedNode{from: seg.From, to: seg.To(),
+	p.audited = &auditedNode{from: seg.From, to: seg.To(),
 		hashes: make(map[uint64][]byte), sent: make(map[types.MessageID]*sentEnvelope)}
 	for i, h := range hashes {
-		audited.hashes[seg.From+uint64(i)] = h
+		p.audited.hashes[seg.From+uint64(i)] = h
 	}
-	a.covered[node] = audited
 
-	a.replayEntries(node, seg, audited)
-	a.crossCheck(node, audited)
+	p.replayEntries(node, seg)
+
+	out.ops = p.ops
+	out.audited = p.audited
+	out.machine = p.machine
+	out.endTime = p.endTime
+	return out
+}
+
+// Commit applies a prepared audit to the shared graph and bookkeeping. It
+// must be called from the auditor's single commit goroutine; the caller
+// chooses the commit order, and the result is identical to having called
+// Replay sequentially in that order.
+func (a *Auditor) Commit(p *PreparedAudit) error {
+	if _, ok := a.covered[p.Node]; ok {
+		return nil // already replayed (one segment per node per query session)
+	}
+	if p.err != nil {
+		a.applyOps(p.ops)
+		return p.err
+	}
+	a.covered[p.Node] = p.audited
+	a.applyOps(p.ops)
+	if p.machine != nil {
+		a.Builder.InstallMachine(p.Node, p.machine)
+	}
+	if p.endTime > a.endTimes[p.Node] {
+		a.endTimes[p.Node] = p.endTime
+	}
+	a.crossCheck(p.Node, p.audited)
 	return nil
+}
+
+func (a *Auditor) applyOps(ops []replayOp) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case opFail:
+			a.failures = append(a.failures, op.fail)
+		case opEvent:
+			a.Builder.ApplyReplayed(op.ev, op.outs)
+		case opSeedExist:
+			a.Builder.SeedExist(op.node, op.tup, op.t)
+		case opSeedBelieve:
+			a.Builder.SeedBelieve(op.node, op.origin, op.tup, op.t)
+		case opImplied:
+			a.recordImplied(op.node, op.seq, op.commit)
+		}
+	}
+}
+
+// Replay verifies one retrieved segment against the evidence and replays it
+// into the shared graph. A verification error means the node could not
+// produce a log matching its own commitments — provable misbehavior, also
+// recorded as a failure. Replay is Prepare followed immediately by Commit.
+func (a *Auditor) Replay(node types.NodeID, resp *RetrieveResponse, evidence seclog.Authenticator) error {
+	if _, ok := a.covered[node]; ok {
+		return nil // already replayed (one segment per node per query session)
+	}
+	return a.Commit(a.Prepare(node, resp, evidence))
 }
 
 // replayEntries expands entries into GCA events, re-verifying embedded peer
 // signatures and checkpoints along the way.
-func (a *Auditor) replayEntries(node types.NodeID, seg *seclog.SegmentData, audited *auditedNode) {
+func (p *prep) replayEntries(node types.NodeID, seg *seclog.SegmentData) {
 	for i, e := range seg.Entries {
 		seq := seg.From + uint64(i)
-		if e.T > a.endTimes[node] {
-			a.endTimes[node] = e.T
+		if e.T > p.endTime {
+			p.endTime = e.T
 		}
 		switch e.Type {
 		case seclog.EIns:
-			a.Builder.HandleEvent(types.Event{Kind: types.EvIns, Node: node, Time: e.T,
+			p.handleEvent(types.Event{Kind: types.EvIns, Node: node, Time: e.T,
 				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody, Replaces: e.Replaces})
 		case seclog.EDel:
-			a.Builder.HandleEvent(types.Event{Kind: types.EvDel, Node: node, Time: e.T,
+			p.handleEvent(types.Event{Kind: types.EvDel, Node: node, Time: e.T,
 				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody})
 		case seclog.ESnd:
 			if len(e.Msgs) == 0 {
-				a.fail(node, seq, "empty snd entry")
+				p.fail(node, seq, "empty snd entry")
 				continue
 			}
 			prev := seg.BaseHash
 			if seq > seg.From {
-				prev = audited.hashes[seq-1]
+				prev = p.audited.hashes[seq-1]
 			}
-			audited.sent[e.Msgs[0].ID()] = &sentEnvelope{msgs: e.Msgs, seq: seq, t: e.T, prevHash: prev}
+			p.audited.sent[e.Msgs[0].ID()] = &sentEnvelope{msgs: e.Msgs, seq: seq, t: e.T, prevHash: prev}
 			for j := range e.Msgs {
 				msg := e.Msgs[j]
 				if msg.Src != node {
-					a.fail(node, seq, "snd entry with foreign source %s", msg.Src)
+					p.fail(node, seq, "snd entry with foreign source %s", msg.Src)
 				}
-				a.Builder.HandleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T, Msg: &msg})
+				p.handleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T, Msg: &msg})
 			}
 		case seclog.ERcv:
-			a.replayRcv(node, seq, e)
+			p.replayRcv(node, seq, e)
 		case seclog.EAck:
-			a.replayAck(node, seq, e, audited)
+			p.replayAck(node, seq, e)
 		case seclog.ECkpt:
-			a.replayCkpt(node, seq, e, i == 0)
+			p.replayCkpt(node, seq, e, i == 0)
 		}
 	}
 }
 
-func (a *Auditor) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
+func (p *prep) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
+	a := p.a
 	if len(e.Msgs) == 0 {
-		a.fail(node, seq, "empty rcv entry")
+		p.fail(node, seq, "empty rcv entry")
 		return
 	}
 	src := e.Msgs[0].Src
@@ -215,37 +380,39 @@ func (a *Auditor) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
 	sndEntry := &seclog.Entry{T: e.PeerTime, Type: seclog.ESnd, Msgs: e.Msgs}
 	hx := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, sndEntry)
 	if pub, err := a.dir.Key(src); err != nil {
-		a.fail(node, seq, "rcv from unknown node %s", src)
+		p.fail(node, seq, "rcv from unknown node %s", src)
 	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hx, e.PeerSig) {
-		a.fail(node, seq, "rcv entry carries an invalid signature from %s", src)
+		p.fail(node, seq, "rcv entry carries an invalid signature from %s", src)
 	} else {
-		a.recordImplied(src, e.PeerSeq, &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs})
+		p.ops = append(p.ops, replayOp{kind: opImplied, node: src, seq: e.PeerSeq,
+			commit: &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs}})
 	}
 	for j := range e.Msgs {
 		msg := e.Msgs[j]
 		if msg.Dst != node {
-			a.fail(node, seq, "rcv entry with foreign destination %s", msg.Dst)
+			p.fail(node, seq, "rcv entry with foreign destination %s", msg.Dst)
 			continue
 		}
 		id := msg.ID()
-		a.Builder.HandleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
+		p.handleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
 			Msg: &msg, SameBatch: j > 0})
 		// The rcv entry commits the receiver to acknowledging: synthesize
 		// the ack transmission (acks are implicit in the log, §5.4).
-		a.Builder.HandleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T,
+		p.handleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T,
 			AckID: &id, AckTime: e.T})
 	}
 }
 
-func (a *Auditor) replayAck(node types.NodeID, seq uint64, e *seclog.Entry, audited *auditedNode) {
+func (p *prep) replayAck(node types.NodeID, seq uint64, e *seclog.Entry) {
+	a := p.a
 	if len(e.AckIDs) == 0 {
-		a.fail(node, seq, "empty ack entry")
+		p.fail(node, seq, "empty ack entry")
 		return
 	}
-	pend := audited.sent[e.AckIDs[0]]
+	pend := p.audited.sent[e.AckIDs[0]]
 	dst := e.AckIDs[0].Dst
 	if pend == nil {
-		a.fail(node, seq, "ack entry without a matching snd entry")
+		p.fail(node, seq, "ack entry without a matching snd entry")
 		return
 	}
 	// Reconstruct the receiver's rcv entry and re-verify its signature.
@@ -253,42 +420,46 @@ func (a *Auditor) replayAck(node types.NodeID, seq uint64, e *seclog.Entry, audi
 		PeerPrevHash: pend.prevHash, PeerTime: pend.t, PeerSig: e.EnvSig, PeerSeq: pend.seq}
 	hy := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, rcvEntry)
 	if pub, err := a.dir.Key(dst); err != nil {
-		a.fail(node, seq, "ack from unknown node %s", dst)
+		p.fail(node, seq, "ack from unknown node %s", dst)
 	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hy, e.PeerSig) {
-		a.fail(node, seq, "ack entry carries an invalid signature from %s", dst)
+		p.fail(node, seq, "ack entry carries an invalid signature from %s", dst)
 	} else {
-		a.recordImplied(dst, e.PeerSeq, &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs})
+		p.ops = append(p.ops, replayOp{kind: opImplied, node: dst, seq: e.PeerSeq,
+			commit: &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs}})
 	}
 	for i := range e.AckIDs {
 		id := e.AckIDs[i]
-		a.Builder.HandleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
+		p.handleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
 			AckID: &id, AckTime: e.PeerTime})
 	}
 }
 
-func (a *Auditor) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atSegmentStart bool) {
+func (p *prep) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atSegmentStart bool) {
+	a := p.a
 	ck := e.Ckpt
 	if ck == nil {
-		a.fail(node, seq, "checkpoint entry without payload")
+		p.fail(node, seq, "checkpoint entry without payload")
 		return
 	}
 	if err := ck.VerifyFull(a.suite, a.Stats); err != nil {
-		a.fail(node, seq, "checkpoint payload does not match digests: %v", err)
+		p.fail(node, seq, "checkpoint payload does not match digests: %v", err)
 		return
 	}
 	if atSegmentStart {
 		// Start of replay: restore the machine and seed the graph with the
 		// extant tuples (their causes live in an earlier segment).
-		if err := a.Builder.RestoreMachine(node, ck.MachineState); err != nil {
-			a.fail(node, seq, "checkpoint state does not restore: %v", err)
+		if err := p.machineFor().Restore(ck.MachineState); err != nil {
+			p.fail(node, seq, "checkpoint state does not restore: %v", err)
 			return
 		}
 		for _, it := range ck.Items {
 			if it.Local {
-				a.Builder.SeedExist(node, it.Tuple, it.Appeared)
+				p.ops = append(p.ops, replayOp{kind: opSeedExist, node: node,
+					tup: it.Tuple, t: it.Appeared})
 			}
 			for _, b := range it.Believed {
-				a.Builder.SeedBelieve(node, b.Origin, it.Tuple, b.Since)
+				p.ops = append(p.ops, replayOp{kind: opSeedBelieve, node: node,
+					origin: b.Origin, tup: it.Tuple, t: b.Since})
 			}
 		}
 		return
@@ -298,10 +469,10 @@ func (a *Auditor) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atS
 	// node adds a nonexistent tuple to its checkpoint, this will be
 	// discovered when ... replay will begin before the checkpoint and end
 	// after it", §5.6).
-	snap := a.Builder.MachineFor(node).Snapshot()
+	snap := p.machineFor().Snapshot()
 	a.Stats.CountHash(len(snap))
 	if !bytes.Equal(a.suite.Hash(snap), ck.StateHash) {
-		a.fail(node, seq, "checkpoint disagrees with replayed state")
+		p.fail(node, seq, "checkpoint disagrees with replayed state")
 	}
 }
 
@@ -345,7 +516,8 @@ func (a *Auditor) crossCheck(node types.NodeID, audited *auditedNode) {
 }
 
 func (a *Auditor) equivocation(node types.NodeID, seq uint64, c1, c2 *impliedCommit) {
-	a.fail(node, seq, "equivocation: conflicting commitments for log position %d", seq)
+	a.failures = append(a.failures, Failure{Node: node, Seq: seq,
+		Reason: fmt.Sprintf("equivocation: conflicting commitments for log position %d", seq)})
 	// Surface the conflicting transmission as red send/receive vertices
 	// (handle-extra-msg, Figure 11).
 	for _, c := range []*impliedCommit{c1, c2} {
@@ -371,7 +543,8 @@ func (a *Auditor) CheckAuthenticator(auth seclog.Authenticator) {
 		return
 	}
 	if h, ok := audited.hashes[auth.Seq]; ok && !bytes.Equal(h, auth.Hash) {
-		a.fail(auth.Node, auth.Seq, "authenticator held by a peer is not on the presented chain (fork)")
+		a.failures = append(a.failures, Failure{Node: auth.Node, Seq: auth.Seq,
+			Reason: "authenticator held by a peer is not on the presented chain (fork)"})
 	}
 }
 

@@ -6,36 +6,90 @@ import (
 	"repro/internal/types"
 )
 
+// fid is a dense interned tuple-key ID; sid is a dense interned support-key
+// ID. Both index their intern table's key slice.
+type fid = int32
+type sid = int32
+
+// intern is an append-only canonical-string → dense-ID table. The strings
+// are kept so that deterministic iteration can still follow canonical key
+// order while every hot-path lookup and set membership test hashes a machine
+// word instead of a string.
+type intern struct {
+	ids  map[string]int32
+	keys []string
+}
+
+func newIntern() *intern {
+	return &intern{ids: make(map[string]int32)}
+}
+
+// id returns the ID for k, interning it on first use.
+func (t *intern) id(k string) int32 {
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := int32(len(t.keys))
+	t.ids[k] = id
+	t.keys = append(t.keys, k)
+	return id
+}
+
+// lookup returns the ID for k without interning.
+func (t *intern) lookup(k string) (int32, bool) {
+	id, ok := t.ids[k]
+	return id, ok
+}
+
+// key returns the canonical string for an interned ID.
+func (t *intern) key(id int32) string { return t.keys[id] }
+
 // relStore holds one relation's facts with incrementally maintained
 // key-sorted iteration order and lazily built per-attribute indexes.
 //
-// Iteration order is kept sorted by tuple key — not insertion order — so
-// join results fire in exactly the order the original full-scan-plus-sort
-// evaluator produced them; every downstream artifact (message sequence
-// numbers, aggregate tie-breaks, graph vertex creation order) is therefore
-// bit-identical, while the per-join O(n log n) sort becomes an O(1) slice
-// read. Indexes map an argument position to (value → sorted fact keys), so
-// a join level with a bound argument scans only the matching bucket.
+// Iteration order is kept sorted by canonical tuple key — not insertion or
+// ID order — so join results fire in exactly the order the original
+// full-scan-plus-sort evaluator produced them; every downstream artifact
+// (message sequence numbers, aggregate tie-breaks, graph vertex creation
+// order) is therefore bit-identical, while the per-join O(n log n) sort
+// remains an O(1) slice read. Facts are referenced by interned fid, so
+// bucket entries cost four bytes and visiting a candidate is a slice index
+// into Machine.facts rather than a string-keyed map lookup. Indexes map an
+// argument position to (value → key-sorted fact IDs), so a join level with
+// a bound argument scans only the matching bucket.
 type relStore struct {
-	byKey map[string]*fact
-	keys  []string                         // all fact keys, sorted
-	idx   map[int]map[types.Value][]string // arg position → value → sorted keys
+	tups *intern
+	keys []fid                         // all fact IDs, sorted by tuple key
+	idx  map[int]map[types.Value][]fid // arg position → value → sorted IDs
 }
 
-func newRelStore() *relStore {
-	return &relStore{byKey: make(map[string]*fact)}
+func newRelStore(tups *intern) *relStore {
+	return &relStore{tups: tups}
 }
 
-func insertSorted(s []string, k string) []string {
-	i, found := slices.BinarySearch(s, k)
+// cmpByKey orders fact IDs by their canonical tuple keys.
+func (r *relStore) cmpByKey(a, b fid) int {
+	ka, kb := r.tups.key(a), r.tups.key(b)
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (r *relStore) insertSorted(s []fid, id fid) []fid {
+	i, found := slices.BinarySearchFunc(s, id, r.cmpByKey)
 	if found {
 		return s
 	}
-	return slices.Insert(s, i, k)
+	return slices.Insert(s, i, id)
 }
 
-func removeSorted(s []string, k string) []string {
-	i, found := slices.BinarySearch(s, k)
+func (r *relStore) removeSorted(s []fid, id fid) []fid {
+	i, found := slices.BinarySearchFunc(s, id, r.cmpByKey)
 	if !found {
 		return s
 	}
@@ -43,31 +97,29 @@ func removeSorted(s []string, k string) []string {
 }
 
 func (r *relStore) add(f *fact) {
-	k := f.tuple.Key()
-	if _, dup := r.byKey[k]; dup {
+	i, found := slices.BinarySearchFunc(r.keys, f.id, r.cmpByKey)
+	if found {
 		return
 	}
-	r.byKey[k] = f
-	r.keys = insertSorted(r.keys, k)
+	r.keys = slices.Insert(r.keys, i, f.id)
 	for p, buckets := range r.idx {
 		if p < len(f.tuple.Args) {
 			v := f.tuple.Args[p]
-			buckets[v] = insertSorted(buckets[v], k)
+			buckets[v] = r.insertSorted(buckets[v], f.id)
 		}
 	}
 }
 
 func (r *relStore) remove(f *fact) {
-	k := f.tuple.Key()
-	if _, ok := r.byKey[k]; !ok {
+	i, found := slices.BinarySearchFunc(r.keys, f.id, r.cmpByKey)
+	if !found {
 		return
 	}
-	delete(r.byKey, k)
-	r.keys = removeSorted(r.keys, k)
+	r.keys = slices.Delete(r.keys, i, i+1)
 	for p, buckets := range r.idx {
 		if p < len(f.tuple.Args) {
 			v := f.tuple.Args[p]
-			b := removeSorted(buckets[v], k)
+			b := r.removeSorted(buckets[v], f.id)
 			if len(b) == 0 {
 				delete(buckets, v)
 			} else {
@@ -79,31 +131,31 @@ func (r *relStore) remove(f *fact) {
 
 // ensureIdx returns the index for argument position p, building it from the
 // current facts on first use; it is maintained by add/remove afterwards.
-func (r *relStore) ensureIdx(p int) map[types.Value][]string {
+func (r *relStore) ensureIdx(m *Machine, p int) map[types.Value][]fid {
 	if b, ok := r.idx[p]; ok {
 		return b
 	}
 	if r.idx == nil {
-		r.idx = make(map[int]map[types.Value][]string)
+		r.idx = make(map[int]map[types.Value][]fid)
 	}
-	b := make(map[types.Value][]string)
-	for _, k := range r.keys { // keys are sorted, so buckets come out sorted
-		f := r.byKey[k]
-		if p < len(f.tuple.Args) {
-			b[f.tuple.Args[p]] = append(b[f.tuple.Args[p]], k)
+	b := make(map[types.Value][]fid)
+	for _, id := range r.keys { // keys are sorted, so buckets come out sorted
+		f := m.facts[id]
+		if f != nil && p < len(f.tuple.Args) {
+			b[f.tuple.Args[p]] = append(b[f.tuple.Args[p]], id)
 		}
 	}
 	r.idx[p] = b
 	return b
 }
 
-// candidateKeys returns a snapshot of the keys of facts that can possibly
-// unify with atom under the current binding: the smallest index bucket among
-// the atom's bound argument positions, or every fact when none is bound. The
+// candidates returns a snapshot of the IDs of facts that can possibly unify
+// with atom under the current binding: the smallest index bucket among the
+// atom's bound argument positions, or every fact when none is bound. The
 // snapshot is a copy because rule firings triggered during the join may
-// mutate the store; looking each key up again at visit time reproduces the
+// mutate the store; looking each ID up again at visit time reproduces the
 // original evaluator's semantics for facts deleted mid-join.
-func (r *relStore) candidateKeys(atom cAtom, bf *bindFrame) []string {
+func (r *relStore) candidates(m *Machine, atom cAtom, bf *bindFrame) []fid {
 	best := r.keys
 	haveBound := false
 	for p, t := range atom {
@@ -116,7 +168,7 @@ func (r *relStore) candidateKeys(atom cAtom, bf *bindFrame) []string {
 		} else {
 			v = t.val
 		}
-		bucket := r.ensureIdx(p)[v]
+		bucket := r.ensureIdx(m, p)[v]
 		if !haveBound || len(bucket) < len(best) {
 			best = bucket
 			haveBound = true
@@ -125,12 +177,12 @@ func (r *relStore) candidateKeys(atom cAtom, bf *bindFrame) []string {
 			break
 		}
 	}
-	return append([]string(nil), best...)
+	return append([]fid(nil), best...)
 }
 
-// sortedSnapshot returns a copy of all fact keys in sorted order.
-func (r *relStore) sortedSnapshot() []string {
-	return append([]string(nil), r.keys...)
+// sortedSnapshot returns a copy of all fact IDs in sorted order.
+func (r *relStore) sortedSnapshot() []fid {
+	return append([]fid(nil), r.keys...)
 }
 
 // bindFrame is the positional binding state of one join: values indexed by

@@ -1,6 +1,7 @@
 package dlog
 
 import (
+	"slices"
 	"sort"
 	"strings"
 
@@ -55,25 +56,40 @@ func (s support) key() string {
 	return sb.String()
 }
 
-// fact is one stored tuple plus its supports.
+// supportEntry is one support of a fact together with its interned key ID.
+type supportEntry struct {
+	sid sid
+	sup support
+}
+
+// fact is one stored tuple plus its supports, kept sorted by canonical
+// support-key order (the order snapshot encoding and removal scans need).
 type fact struct {
+	id       fid
 	tuple    types.Tuple
 	outbound bool // location attribute names another node; shipped, not joined
-	supports map[string]support
+	supports []supportEntry
 	appeared types.Time
 }
 
 func (f *fact) active() bool { return len(f.supports) > 0 }
 
+// findSupport returns the index of sid in f.supports (sorted by support key
+// under in), or (insertion point, false).
+func (f *fact) findSupport(in *intern, s sid) (int, bool) {
+	return slices.BinarySearchFunc(f.supports, s, func(e supportEntry, target sid) int {
+		return strings.Compare(in.key(e.sid), in.key(target))
+	})
+}
+
 // dep records that a body fact is referenced by a support of a head fact.
 type dep struct {
-	headKey string
-	supKey  string
+	head fid
+	sup  sid
 }
 
 // aggMatch is one body match of an aggregation rule.
 type aggMatch struct {
-	id    string // identity: concatenated body fact keys
 	body  []types.Tuple
 	head  types.Tuple // head built from this witness's binding
 	group string
@@ -81,36 +97,53 @@ type aggMatch struct {
 }
 
 // aggState tracks the materialized body matches of one aggregation rule.
+// Matches are identified by their body fact-ID list (encoded as a compact
+// byte string); identity sets are iterated in arbitrary-but-deterministic
+// sorted order, which is safe because no output order depends on it.
 type aggState struct {
 	matches map[string]*aggMatch
 	byGroup map[string]map[string]bool
-	byFact  map[string]map[string]bool
-	// installed maps group -> head tuple key -> support keys currently
-	// installed for that group.
-	installed map[string]map[string][]string
-	headByKey map[string]types.Tuple
+	byFact  map[fid]map[string]bool
+	// installed maps group -> head tuple ID -> support-key IDs currently
+	// installed for that group, in canonical support-key order.
+	installed map[string]map[fid][]sid
 }
 
 func newAggState() *aggState {
 	return &aggState{
 		matches:   make(map[string]*aggMatch),
 		byGroup:   make(map[string]map[string]bool),
-		byFact:    make(map[string]map[string]bool),
-		installed: make(map[string]map[string][]string),
-		headByKey: make(map[string]types.Tuple),
+		byFact:    make(map[fid]map[string]bool),
+		installed: make(map[string]map[fid][]sid),
 	}
 }
 
 // Machine is the deterministic dlog state machine for one node: the Ai of
 // Appendix A.2, with provenance-annotated outputs. It implements
 // types.Machine.
+//
+// All fact and support bookkeeping is keyed by dense interned IDs (see
+// intern in index.go) rather than canonical strings: the canonical byte
+// forms are computed once per distinct tuple or support and every subsequent
+// lookup hashes a machine word instead of a string. Deterministic iteration
+// still follows canonical string order — the intern table keeps the strings
+// for comparison — so outputs, snapshot bytes, and aggregate tie-breaks are
+// bit-identical to the string-keyed evaluator.
+//
+// The intern tables are append-only: a tuple or support seen once keeps its
+// ID (and key string) for the machine's lifetime, even after the fact is
+// retracted, so memory grows with the number of historically distinct
+// tuples rather than with live state. That is the usual workload shape
+// here; Restore resets the tables along with the rest of the state.
 type Machine struct {
 	prog *Program
 	self types.NodeID
 
-	facts map[string]*fact
+	tups  *intern // canonical tuple key -> fid
+	sups  *intern // canonical support key -> sid
+	facts []*fact // fid -> fact, nil when absent; grown lazily
 	rels  map[string]*relStore
-	deps  map[string]map[dep]bool
+	deps  map[fid]map[dep]bool
 	aggs  map[int]*aggState // rule index -> state
 
 	seqs map[types.NodeID]uint64
@@ -127,13 +160,14 @@ type Machine struct {
 // NewMachine creates a machine for node self running prog.
 func NewMachine(prog *Program, self types.NodeID) *Machine {
 	m := &Machine{
-		prog:  prog,
-		self:  self,
-		facts: make(map[string]*fact),
-		rels:  make(map[string]*relStore),
-		deps:  make(map[string]map[dep]bool),
-		aggs:  make(map[int]*aggState),
-		seqs:  make(map[types.NodeID]uint64),
+		prog: prog,
+		self: self,
+		tups: newIntern(),
+		sups: newIntern(),
+		rels: make(map[string]*relStore),
+		deps: make(map[fid]map[dep]bool),
+		aggs: make(map[int]*aggState),
+		seqs: make(map[types.NodeID]uint64),
 	}
 	for i, r := range prog.rules {
 		if r.Agg != nil {
@@ -181,7 +215,11 @@ func (m *Machine) Step(ev types.Event) []types.Output {
 			m.addSupport(msg.Tuple, support{kind: supBelieved, origin: msg.Src,
 				since: m.now, noDeps: true}, nil)
 		case types.PolDisappear:
-			m.removeSupport(msg.Tuple.Key(), support{kind: supBelieved, origin: msg.Src}.key(), "", nil)
+			if id, ok := m.tups.lookup(msg.Tuple.Key()); ok {
+				if s, ok := m.sups.lookup(support{kind: supBelieved, origin: msg.Src}.key()); ok {
+					m.removeSupport(id, s, "", nil)
+				}
+			}
 		case types.PolBoth:
 			// Believed transient event: fires rules, never stored.
 			m.matchEvent(msg.Tuple)
@@ -202,8 +240,21 @@ func (m *Machine) emit(o types.Output) {
 // ---------------------------------------------------------------------------
 // Fact and support maintenance.
 
+// factID interns the tuple's canonical key and grows the fact slice to cover
+// the ID.
+func (m *Machine) factID(tup types.Tuple) fid {
+	id := m.tups.id(tup.Key())
+	for int(id) >= len(m.facts) {
+		m.facts = append(m.facts, nil)
+	}
+	return id
+}
+
 func (m *Machine) getFact(tup types.Tuple) *fact {
-	return m.facts[tup.Key()]
+	if id, ok := m.tups.lookup(tup.Key()); ok {
+		return m.facts[id]
+	}
+	return nil
 }
 
 func (m *Machine) addSupport(tup types.Tuple, sup support, replaces []types.Tuple) {
@@ -213,34 +264,36 @@ func (m *Machine) addSupport(tup types.Tuple, sup support, replaces []types.Tupl
 		m.removeStoredSupportsVia(old, sup.rule, sup.body)
 	}
 
-	f := m.getFact(tup)
+	id := m.factID(tup)
+	f := m.facts[id]
 	if f == nil {
 		f = &fact{
+			id:       id,
 			tuple:    tup,
 			outbound: tup.HasLoc() && tup.Loc() != m.self,
-			supports: make(map[string]support),
 		}
-		m.facts[tup.Key()] = f
+		m.facts[id] = f
 		rel := m.rels[tup.Rel]
 		if rel == nil {
-			rel = newRelStore()
+			rel = newRelStore(m.tups)
 			m.rels[tup.Rel] = rel
 		}
 		rel.add(f)
 	}
-	sk := sup.key()
-	if _, dup := f.supports[sk]; dup {
+	s := m.sups.id(sup.key())
+	i, dup := f.findSupport(m.sups, s)
+	if dup {
 		return // identical support already present
 	}
 	wasActive := f.active()
-	f.supports[sk] = sup
+	f.supports = slices.Insert(f.supports, i, supportEntry{sid: s, sup: sup})
 	if !sup.noDeps {
 		for _, b := range sup.body {
-			bk := b.Key()
-			if m.deps[bk] == nil {
-				m.deps[bk] = make(map[dep]bool)
+			bid := m.factID(b)
+			if m.deps[bid] == nil {
+				m.deps[bid] = make(map[dep]bool)
 			}
-			m.deps[bk][dep{tup.Key(), sk}] = true
+			m.deps[bid][dep{id, s}] = true
 		}
 	}
 	// Believed facts produce no derive output: the GCA represents them with
@@ -285,30 +338,41 @@ func (m *Machine) removeStoredSupportsVia(tup types.Tuple, rule string, body []t
 	if f == nil {
 		return
 	}
-	for _, sk := range sortedKeys(f.supports) {
-		s := f.supports[sk]
-		if s.kind == supBase || s.kind == supChoice {
-			m.removeSupport(tup.Key(), sk, rule, body)
+	// Snapshot the matching support IDs first: removal mutates the slice
+	// (and may cascade). f.supports is already in canonical key order.
+	var stored []sid
+	for _, e := range f.supports {
+		if e.sup.kind == supBase || e.sup.kind == supChoice {
+			stored = append(stored, e.sid)
 		}
+	}
+	for _, s := range stored {
+		m.removeSupport(f.id, s, rule, body)
 	}
 }
 
 // removeSupport removes one support; if attributedRule is non-empty the
 // underive output is attributed to it (e.g. a delete rule firing) instead
 // of the support's own rule.
-func (m *Machine) removeSupport(factKey, supKey, attributedRule string, attributedBody []types.Tuple) {
-	f := m.facts[factKey]
+func (m *Machine) removeSupport(factID fid, supID sid, attributedRule string, attributedBody []types.Tuple) {
+	if int(factID) >= len(m.facts) {
+		return
+	}
+	f := m.facts[factID]
 	if f == nil {
 		return
 	}
-	sup, ok := f.supports[supKey]
+	i, ok := f.findSupport(m.sups, supID)
 	if !ok {
 		return
 	}
-	delete(f.supports, supKey)
+	sup := f.supports[i].sup
+	f.supports = slices.Delete(f.supports, i, i+1)
 	if !sup.noDeps {
 		for _, b := range sup.body {
-			delete(m.deps[b.Key()], dep{factKey, supKey})
+			if bid, ok := m.tups.lookup(b.Key()); ok {
+				delete(m.deps[bid], dep{factID, supID})
+			}
 		}
 	}
 	last := !f.active()
@@ -326,8 +390,7 @@ func (m *Machine) removeSupport(factKey, supKey, attributedRule string, attribut
 }
 
 func (m *Machine) deactivate(f *fact) {
-	key := f.tuple.Key()
-	delete(m.facts, key)
+	m.facts[f.id] = nil
 	if rel := m.rels[f.tuple.Rel]; rel != nil {
 		rel.remove(f)
 	}
@@ -336,12 +399,12 @@ func (m *Machine) deactivate(f *fact) {
 		return
 	}
 	// Cascade: every support that referenced this fact dies.
-	for _, d := range sortedDeps(m.deps[key]) {
-		m.removeSupport(d.headKey, d.supKey, "", nil)
+	for _, d := range m.sortedDeps(m.deps[f.id]) {
+		m.removeSupport(d.head, d.sup, "", nil)
 	}
-	delete(m.deps, key)
+	delete(m.deps, f.id)
 	// Aggregation rules lose the matches that used this fact.
-	m.aggFactRemoved(key)
+	m.aggFactRemoved(f.id)
 }
 
 // ---------------------------------------------------------------------------
@@ -449,8 +512,8 @@ func (m *Machine) joinRest(ri int, r *compiledRule, rest []int, bf *bindFrame, m
 	if rel == nil {
 		return
 	}
-	for _, fk := range rel.candidateKeys(r.cBody[pos], bf) {
-		f := rel.byKey[fk]
+	for _, id := range rel.candidates(m, r.cBody[pos], bf) {
+		f := m.facts[id]
 		if f == nil || !f.active() || f.outbound {
 			continue
 		}
@@ -556,8 +619,8 @@ func (m *Machine) storeFact(r *compiledRule, head types.Tuple, body []types.Tupl
 		if rel := m.rels[head.Rel]; rel != nil {
 			// The replacement key covers Args[0], so the position-0 index
 			// bucket holds every candidate, already in sorted key order.
-			for _, fk := range rel.ensureIdx(0)[head.Args[0]] {
-				f := rel.byKey[fk]
+			for _, id := range rel.ensureIdx(m, 0)[head.Args[0]] {
+				f := m.facts[id]
 				if f == nil || !f.active() || f.tuple.Equal(head) {
 					continue
 				}
@@ -598,28 +661,26 @@ func groupKeyC(r *compiledRule, bf *bindFrame) string {
 	return sb.String()
 }
 
-func matchID(body []types.Tuple) string {
-	n := 0
+// matchID renders a match identity from its body fact IDs. The encoding is
+// only an identity (sets of match IDs are iterated in sorted order, but no
+// output order depends on which order that is), so the compact little-endian
+// byte form replaces the historical concatenated-key form.
+func (m *Machine) matchID(body []types.Tuple) string {
+	buf := make([]byte, 0, 4*len(body))
 	for _, b := range body {
-		n += len(b.Key()) + 1
+		id := m.factID(b)
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	var sb strings.Builder
-	sb.Grow(n)
-	for _, b := range body {
-		sb.WriteString(b.Key())
-		sb.WriteByte(';')
-	}
-	return sb.String()
+	return string(buf)
 }
 
 func (m *Machine) aggAddMatch(ri int, r *compiledRule, bf *bindFrame, body []types.Tuple) {
 	st := m.aggs[ri]
-	id := matchID(body)
+	id := m.matchID(body)
 	if _, ok := st.matches[id]; ok {
 		return
 	}
 	am := &aggMatch{
-		id:    id,
 		body:  body,
 		group: groupKeyC(r, bf),
 		over:  bf.vals[r.aggOverSlot],
@@ -635,22 +696,22 @@ func (m *Machine) aggAddMatch(ri int, r *compiledRule, bf *bindFrame, body []typ
 	}
 	st.byGroup[am.group][id] = true
 	for _, b := range body {
-		bk := b.Key()
-		if st.byFact[bk] == nil {
-			st.byFact[bk] = make(map[string]bool)
+		bid := m.factID(b)
+		if st.byFact[bid] == nil {
+			st.byFact[bid] = make(map[string]bool)
 		}
-		st.byFact[bk][id] = true
+		st.byFact[bid][id] = true
 	}
 	m.aggRecompute(ri, r, am.group)
 }
 
-func (m *Machine) aggFactRemoved(factKey string) {
+func (m *Machine) aggFactRemoved(factID fid) {
 	for ri, r := range m.prog.rules {
 		if r.Agg == nil {
 			continue
 		}
 		st := m.aggs[ri]
-		ids := st.byFact[factKey]
+		ids := st.byFact[factID]
 		if len(ids) == 0 {
 			continue
 		}
@@ -660,11 +721,13 @@ func (m *Machine) aggFactRemoved(factKey string) {
 			delete(st.matches, id)
 			delete(st.byGroup[am.group], id)
 			for _, b := range am.body {
-				delete(st.byFact[b.Key()], id)
+				if bid, ok := m.tups.lookup(b.Key()); ok {
+					delete(st.byFact[bid], id)
+				}
 			}
 			dirty[am.group] = true
 		}
-		delete(st.byFact, factKey)
+		delete(st.byFact, factID)
 		for _, g := range sortedBoolKeys(dirty) {
 			m.aggRecompute(ri, r, g)
 		}
@@ -678,9 +741,17 @@ func (m *Machine) aggRecompute(ri int, r *compiledRule, group string) {
 	st := m.aggs[ri]
 	ids := sortedBoolKeys(st.byGroup[group])
 
-	// Desired state: head tuple key -> support key -> support.
-	desired := map[string]map[string]support{}
-	heads := map[string]types.Tuple{}
+	// Desired state: head tuple ID -> support ID -> support.
+	desired := map[fid]map[sid]support{}
+	heads := map[fid]types.Tuple{}
+	addDesired := func(head types.Tuple, sup support) {
+		hid := m.factID(head)
+		if desired[hid] == nil {
+			desired[hid] = make(map[sid]support)
+		}
+		desired[hid][m.sups.id(sup.key())] = sup
+		heads[hid] = head
+	}
 	if len(ids) > 0 {
 		switch r.Agg.Fn {
 		case AggMin, AggMax:
@@ -696,68 +767,49 @@ func (m *Machine) aggRecompute(ri int, r *compiledRule, group string) {
 				if am.over != best {
 					continue
 				}
-				sup := support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true}
-				hk := am.head.Key()
-				if desired[hk] == nil {
-					desired[hk] = make(map[string]support)
-				}
-				desired[hk][sup.key()] = sup
-				heads[hk] = am.head
+				addDesired(am.head, support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true})
 			}
 		case AggCount:
 			n := int64(len(ids))
-			var head types.Tuple
 			for _, id := range ids {
 				am := st.matches[id]
-				head = substituteCountTuple(am.head, r, n)
-				sup := support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true}
-				hk := head.Key()
-				if desired[hk] == nil {
-					desired[hk] = make(map[string]support)
-				}
-				desired[hk][sup.key()] = sup
-				heads[hk] = head
+				head := substituteCountTuple(am.head, r, n)
+				addDesired(head, support{kind: supDerive, rule: r.Name, body: am.body, since: m.now, noDeps: true})
 			}
 		}
 	}
 
 	current := st.installed[group]
-	// Removals first.
-	for _, hk := range sortedStringListKeys(current) {
-		for _, sk := range current[hk] {
-			if desired[hk] == nil || !hasKey(desired[hk], sk) {
-				m.removeSupport(hk, sk, "", nil)
+	// Removals first, in canonical (head key, support key) order.
+	for _, hid := range m.sortedFids(current) {
+		for _, s := range current[hid] {
+			if desired[hid] == nil || !hasKey(desired[hid], s) {
+				m.removeSupport(hid, s, "", nil)
 			}
 		}
 	}
 	// Then additions.
-	newInstalled := map[string][]string{}
-	for _, hk := range sortedSupKeys(desired) {
-		for _, sk := range sortedSupportKeys(desired[hk]) {
-			sup := desired[hk][sk]
+	newInstalled := map[fid][]sid{}
+	for _, hid := range m.sortedDesiredFids(desired) {
+		for _, s := range m.sortedSids(desired[hid]) {
+			sup := desired[hid][s]
 			already := false
-			for _, cur := range current[hk] {
-				if cur == sk {
+			for _, cur := range current[hid] {
+				if cur == s {
 					already = true
 					break
 				}
 			}
 			if !already {
-				m.addSupport(heads[hk], sup, nil)
-			} else if f := m.facts[hk]; f != nil {
-				// Keep the original 'since'; nothing to do.
-				_ = f
+				m.addSupport(heads[hid], sup, nil)
 			}
-			newInstalled[hk] = append(newInstalled[hk], sk)
+			newInstalled[hid] = append(newInstalled[hid], s)
 		}
 	}
 	if len(newInstalled) == 0 {
 		delete(st.installed, group)
 	} else {
 		st.installed[group] = newInstalled
-	}
-	for hk, tup := range heads {
-		st.headByKey[hk] = tup
 	}
 }
 
@@ -793,22 +845,30 @@ func substituteCountTuple(head types.Tuple, r *compiledRule, n int64) types.Tupl
 // ---------------------------------------------------------------------------
 // Introspection (used by checkpoints and the graph seeder).
 
+// activeFactsSorted returns all present facts in canonical tuple-key order.
+func (m *Machine) activeFactsSorted() []*fact {
+	out := make([]*fact, 0, len(m.facts))
+	for _, f := range m.facts {
+		if f != nil {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return m.tups.key(out[i].id) < m.tups.key(out[j].id)
+	})
+	return out
+}
+
 // DumpExtants implements types.StateDumper: the stored facts in
 // deterministic order, for checkpointing and replay seeding.
 func (m *Machine) DumpExtants() []types.ExtantTuple {
-	keys := make([]string, 0, len(m.facts))
-	for k := range m.facts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]types.ExtantTuple, 0, len(keys))
-	for _, k := range keys {
-		f := m.facts[k]
+	facts := m.activeFactsSorted()
+	out := make([]types.ExtantTuple, 0, len(facts))
+	for _, f := range facts {
 		e := types.ExtantTuple{Tuple: f.tuple, Appeared: f.appeared}
-		for _, sk := range sortedKeys(f.supports) {
-			s := f.supports[sk]
-			if s.kind == supBelieved {
-				e.Believed = append(e.Believed, types.Belief{Origin: s.origin, Since: s.since})
+		for _, se := range f.supports {
+			if se.sup.kind == supBelieved {
+				e.Believed = append(e.Believed, types.Belief{Origin: se.sup.origin, Since: se.sup.since})
 			} else {
 				e.Local = true
 			}
@@ -831,8 +891,8 @@ func (m *Machine) TuplesOf(rel string) []types.Tuple {
 		return nil
 	}
 	var out []types.Tuple
-	for _, fk := range r.keys {
-		f := r.byKey[fk]
+	for _, id := range r.keys {
+		f := m.facts[id]
 		if f != nil && f.active() && !f.outbound {
 			out = append(out, f.tuple)
 		}
@@ -857,20 +917,14 @@ func (m *Machine) Snapshot() []byte {
 		w.String(d)
 		w.Uint(m.seqs[types.NodeID(d)])
 	}
-	keys := make([]string, 0, len(m.facts))
-	for k := range m.facts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w.Uint(uint64(len(keys)))
-	for _, k := range keys {
-		f := m.facts[k]
+	facts := m.activeFactsSorted()
+	w.Uint(uint64(len(facts)))
+	for _, f := range facts {
 		f.tuple.MarshalWire(w)
 		w.Int(int64(f.appeared))
-		sks := sortedKeys(f.supports)
-		w.Uint(uint64(len(sks)))
-		for _, sk := range sks {
-			s := f.supports[sk]
+		w.Uint(uint64(len(f.supports)))
+		for _, se := range f.supports {
+			s := se.sup
 			w.Byte(byte(s.kind))
 			w.String(s.rule)
 			w.String(string(s.origin))
@@ -888,9 +942,11 @@ func (m *Machine) Snapshot() []byte {
 // Restore implements types.Machine.
 func (m *Machine) Restore(snapshot []byte) error {
 	r := wire.NewReader(snapshot)
-	m.facts = make(map[string]*fact)
+	m.tups = newIntern()
+	m.sups = newIntern()
+	m.facts = nil
 	m.rels = make(map[string]*relStore)
-	m.deps = make(map[string]map[dep]bool)
+	m.deps = make(map[fid]map[dep]bool)
 	m.seqs = make(map[types.NodeID]uint64)
 	for i := range m.prog.rules {
 		if m.prog.rules[i].Agg != nil {
@@ -911,10 +967,11 @@ func (m *Machine) Restore(snapshot []byte) error {
 		if err := tup.UnmarshalWire(r); err != nil {
 			return err
 		}
+		id := m.factID(tup)
 		f := &fact{
+			id:       id,
 			tuple:    tup,
 			outbound: tup.HasLoc() && tup.Loc() != m.self,
-			supports: make(map[string]support),
 			appeared: types.Time(r.Int()),
 		}
 		ns := r.Uint()
@@ -940,22 +997,24 @@ func (m *Machine) Restore(snapshot []byte) error {
 				}
 				s.body = append(s.body, b)
 			}
-			sk := s.key()
-			f.supports[sk] = s
+			sid := m.sups.id(s.key())
+			if idx, dup := f.findSupport(m.sups, sid); !dup {
+				f.supports = slices.Insert(f.supports, idx, supportEntry{sid: sid, sup: s})
+			}
 			if !s.noDeps {
 				for _, b := range s.body {
-					bk := b.Key()
-					if m.deps[bk] == nil {
-						m.deps[bk] = make(map[dep]bool)
+					bid := m.factID(b)
+					if m.deps[bid] == nil {
+						m.deps[bid] = make(map[dep]bool)
 					}
-					m.deps[bk][dep{tup.Key(), sk}] = true
+					m.deps[bid][dep{id, sid}] = true
 				}
 			}
 		}
-		m.facts[tup.Key()] = f
+		m.facts[id] = f
 		rel := m.rels[tup.Rel]
 		if rel == nil {
-			rel = newRelStore()
+			rel = newRelStore(m.tups)
 			m.rels[tup.Rel] = rel
 		}
 		rel.add(f)
@@ -983,8 +1042,8 @@ func (m *Machine) rebuildAgg() {
 		if rel == nil {
 			continue
 		}
-		for _, fk := range rel.sortedSnapshot() {
-			f := rel.byKey[fk]
+		for _, id := range rel.sortedSnapshot() {
+			f := m.facts[id]
 			if f == nil || !f.active() || f.outbound {
 				continue
 			}
@@ -994,27 +1053,20 @@ func (m *Machine) rebuildAgg() {
 }
 
 // ---------------------------------------------------------------------------
-// Deterministic iteration helpers.
+// Deterministic iteration helpers. All orderings follow the canonical string
+// forms held by the intern tables, matching the historical string-keyed maps.
 
-func sortedKeys(m map[string]support) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortedDeps(m map[dep]bool) []dep {
-	out := make([]dep, 0, len(m))
-	for d := range m {
+func (m *Machine) sortedDeps(s map[dep]bool) []dep {
+	out := make([]dep, 0, len(s))
+	for d := range s {
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].headKey != out[j].headKey {
-			return out[i].headKey < out[j].headKey
+		hi, hj := m.tups.key(out[i].head), m.tups.key(out[j].head)
+		if hi != hj {
+			return hi < hj
 		}
-		return out[i].supKey < out[j].supKey
+		return m.sups.key(out[i].sup) < m.sups.key(out[j].sup)
 	})
 	return out
 }
@@ -1028,34 +1080,34 @@ func sortedBoolKeys(m map[string]bool) []string {
 	return out
 }
 
-func sortedStringListKeys(m map[string][]string) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
+func (m *Machine) sortedFids(s map[fid][]sid) []fid {
+	out := make([]fid, 0, len(s))
+	for k := range s {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return m.tups.key(out[i]) < m.tups.key(out[j]) })
 	return out
 }
 
-func sortedSupKeys(m map[string]map[string]support) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
+func (m *Machine) sortedDesiredFids(s map[fid]map[sid]support) []fid {
+	out := make([]fid, 0, len(s))
+	for k := range s {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return m.tups.key(out[i]) < m.tups.key(out[j]) })
 	return out
 }
 
-func sortedSupportKeys(m map[string]support) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
+func (m *Machine) sortedSids(s map[sid]support) []sid {
+	out := make([]sid, 0, len(s))
+	for k := range s {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return m.sups.key(out[i]) < m.sups.key(out[j]) })
 	return out
 }
 
-func hasKey(m map[string]support, k string) bool {
+func hasKey(m map[sid]support, k sid) bool {
 	_, ok := m[k]
 	return ok
 }

@@ -72,6 +72,9 @@ func summarize(t *testing.T, name ConfigName) runSummary {
 // key order, incrementally sorted bookkeeping): any iteration-order
 // nondeterminism shows up here as a metric or graph diff.
 func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated five-config determinism run skipped in -short mode")
+	}
 	for _, name := range AllConfigs {
 		name := name
 		t.Run(string(name), func(t *testing.T) {

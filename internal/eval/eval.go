@@ -402,6 +402,11 @@ func fig8Row(name string, q *core.Querier, expl *core.Explanation) Fig8Row {
 // Quagga run: why did some stub's route disappear?
 func QuaggaDisappearQuery(res *RunResult) (Fig8Row, error) {
 	q := res.NewQuerier()
+	// The traversal may cross onto any router, so the whole deployment is
+	// the audit scope: verification and replica replay for every node run
+	// on the worker pool while the query walk commits them on demand.
+	q.BeginAuditScope(res.Net.Nodes(), 0)
+	defer q.CloseScope()
 	// Find a withdrawn route at a stub: audit the stub first.
 	target := types.NodeID("as52")
 	if err := q.EnsureAudited(target, 0); err != nil {
@@ -430,6 +435,8 @@ func QuaggaDisappearQuery(res *RunResult) (Fig8Row, error) {
 // run: any replaced route works the same way).
 func QuaggaBadGadgetQuery(res *RunResult) (Fig8Row, error) {
 	q := res.NewQuerier()
+	q.BeginAuditScope(res.Net.Nodes(), 0)
+	defer q.CloseScope()
 	target := types.NodeID("as30")
 	if err := q.EnsureAudited(target, 0); err != nil {
 		return Fig8Row{}, err
@@ -455,6 +462,11 @@ func QuaggaBadGadgetQuery(res *RunResult) (Fig8Row, error) {
 // stored lookup result.
 func ChordLookupQuery(res *RunResult) (Fig8Row, error) {
 	q := res.NewQuerier()
+	// The candidate scan demands nodes in res.Chord order, so the scope
+	// list doubles as the pipeline order: workers stay a few nodes ahead of
+	// the serial commit frontier.
+	q.BeginAuditScope(res.Chord, 0)
+	defer q.CloseScope()
 	name := fmt.Sprintf("Chord-Lookup(%s)", res.Config)
 	for _, n := range res.Chord {
 		if err := q.EnsureAudited(n, 0); err != nil {
@@ -478,6 +490,8 @@ func ChordLookupQuery(res *RunResult) (Fig8Row, error) {
 // of one output pair.
 func HadoopSquirrelQuery(res *RunResult) (Fig8Row, error) {
 	q := res.NewQuerier()
+	q.BeginAuditScope(res.Net.Nodes(), 0)
+	defer q.CloseScope()
 	owner := res.MR.OutputOwner("squirrel")
 	if err := q.EnsureAudited(owner, 0); err != nil {
 		return Fig8Row{}, err

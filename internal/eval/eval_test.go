@@ -95,6 +95,9 @@ func TestHadoopSmallRunAndQueries(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size Chord scaling run skipped in -short mode")
+	}
 	rows, err := Figure9([]int{10, 20}, Options{Scale: testScale})
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +121,9 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestBatchingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-run ablation skipped in -short mode")
+	}
 	without, with, err := BatchingAblation(Options{Scale: testScale})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/provgraph"
+)
+
+// fullAuditDigest audits every node of a finished run (serially or through
+// the parallel pipeline) and digests the graph and metrics.
+func fullAuditDigest(t *testing.T, res *RunResult, parallel bool) string {
+	t.Helper()
+	q := res.NewQuerier()
+	nodes := res.Net.Nodes()
+	if parallel {
+		q.Parallelism = 4
+		q.BeginAuditScope(nodes, 0)
+		defer q.CloseScope()
+	}
+	for _, n := range nodes {
+		if err := q.EnsureAudited(n, 0); err != nil {
+			t.Fatalf("audit %s: %v", n, err)
+		}
+	}
+	q.Auditor.Finalize()
+	g := q.Auditor.Graph()
+	var yellow, black, red int
+	for _, v := range g.Vertices() {
+		switch v.Color {
+		case provgraph.Yellow:
+			yellow++
+		case provgraph.Black:
+			black++
+		case provgraph.Red:
+			red++
+		}
+	}
+	return fmt.Sprintf("v=%d e=%d y=%d b=%d r=%d fails=%d log=%d auth=%d ckpt=%d contacted=%d micro=%d",
+		g.Len(), g.EdgeCount(), yellow, black, red, len(q.Auditor.Failures()),
+		q.Metrics.LogBytes, q.Metrics.AuthBytes, q.Metrics.CkptBytes,
+		q.Metrics.NodesContacted, q.Metrics.Microqueries)
+}
+
+// TestParallelFullAuditMatchesSerial audits a whole Chord deployment twice —
+// once sequentially, once through the worker-pool pipeline — and requires
+// identical graph summaries and metrics. This is the large-scale companion
+// to the per-fault comparison in the simnet package.
+func TestParallelFullAuditMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-deployment audit comparison skipped in -short mode")
+	}
+	res, err := Run(ChordSmall, Options{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := fullAuditDigest(t, res, false)
+	parallel := fullAuditDigest(t, res, true)
+	if serial != parallel {
+		t.Errorf("parallel audit diverged:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}

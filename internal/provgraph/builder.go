@@ -148,9 +148,42 @@ func (b *Builder) SeedBelieve(host, origin types.NodeID, tup types.Tuple, appear
 	return b.G.Add(v)
 }
 
+// StepsMachine reports whether the GCA feeds ev to the node's state machine:
+// snd events are checked against machine outputs instead, and acknowledgments
+// are transport-level.
+func StepsMachine(ev types.Event) bool {
+	return ev.Kind != types.EvSnd && !ev.IsAck()
+}
+
 // HandleEvent processes one history event: steps 3–5 of the GCA main loop.
 // Events must be presented in per-node chronological order.
 func (b *Builder) HandleEvent(ev types.Event) {
+	b.applyEventGraph(ev)
+	if !StepsMachine(ev) {
+		return
+	}
+	outs := b.MachineFor(ev.Node).Step(ev)
+	for _, out := range outs {
+		b.handleOutput(ev.Node, out, ev.Time)
+	}
+}
+
+// ApplyReplayed is HandleEvent with the machine outputs precomputed by a
+// replica machine (the parallel audit pipeline's verify/decode phase runs the
+// deterministic machine off-thread and hands the outputs here). The graph
+// bookkeeping is identical to HandleEvent; the Builder's own machine for the
+// node is not stepped — the caller installs the fully replayed replica via
+// InstallMachine when its node's commit completes.
+func (b *Builder) ApplyReplayed(ev types.Event, outs []types.Output) {
+	b.applyEventGraph(ev)
+	for _, out := range outs {
+		b.handleOutput(ev.Node, out, ev.Time)
+	}
+}
+
+// applyEventGraph runs the event-side graph bookkeeping (Figure 11, left
+// column) without stepping any machine.
+func (b *Builder) applyEventGraph(ev types.Event) {
 	switch ev.Kind {
 	case types.EvIns:
 		b.handleEventIns(ev)
@@ -158,17 +191,15 @@ func (b *Builder) HandleEvent(ev types.Event) {
 		b.handleEventDel(ev)
 	case types.EvSnd:
 		b.handleEventSnd(ev)
-		return // snd events are not fed to the state machine
 	case types.EvRcv:
 		b.handleEventRcv(ev)
 	}
-	if ev.IsAck() {
-		return // acknowledgments are transport-level, not machine inputs
-	}
-	outs := b.MachineFor(ev.Node).Step(ev)
-	for _, out := range outs {
-		b.handleOutput(ev.Node, out, ev.Time)
-	}
+}
+
+// InstallMachine adopts a machine replayed elsewhere (a parallel audit
+// worker's replica) as node id's machine, replacing any existing one.
+func (b *Builder) InstallMachine(id types.NodeID, m types.Machine) {
+	b.machines[id] = m
 }
 
 // Finalize flags leftover bookkeeping at the end of a complete history

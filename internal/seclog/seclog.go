@@ -277,24 +277,32 @@ func (a *Authenticator) UnmarshalWire(r *wire.Reader) error {
 // WireSize returns the encoded size in bytes.
 func (a Authenticator) WireSize() int { return wire.Size(a) }
 
-// signedMaterial is the byte string covered by an authenticator signature.
-func signedMaterial(t types.Time, hash []byte) []byte {
-	w := wire.NewWriter(32)
+// signedMaterialW encodes the byte string covered by an authenticator
+// signature into a pooled writer; the caller releases it with
+// wire.PutWriter once the signature operation has consumed the bytes.
+func signedMaterialW(t types.Time, hash []byte) *wire.Writer {
+	w := wire.GetWriter()
 	w.Int(int64(t))
 	w.BytesField(hash)
-	return w.Bytes()
+	return w
 }
 
 // Verify checks the authenticator's signature under pub. Results are
 // memoized in the process-wide verification cache: the same authenticator is
 // presented as evidence to every audit step, so repeat checks are free.
 func (a Authenticator) Verify(pub cryptoutil.PublicKey) bool {
-	return cryptoutil.DefaultVerifyCache.Verify(nil, pub, signedMaterial(a.T, a.Hash), a.Sig)
+	w := signedMaterialW(a.T, a.Hash)
+	ok := cryptoutil.DefaultVerifyCache.Verify(nil, pub, w.Bytes(), a.Sig)
+	wire.PutWriter(w)
+	return ok
 }
 
 // VerifyCounted is Verify with cache-hit accounting attributed to stats.
 func (a Authenticator) VerifyCounted(stats *cryptoutil.Stats, pub cryptoutil.PublicKey) bool {
-	return cryptoutil.DefaultVerifyCache.Verify(stats, pub, signedMaterial(a.T, a.Hash), a.Sig)
+	w := signedMaterialW(a.T, a.Hash)
+	ok := cryptoutil.DefaultVerifyCache.Verify(stats, pub, w.Bytes(), a.Sig)
+	wire.PutWriter(w)
+	return ok
 }
 
 // ---------------------------------------------------------------------------
@@ -358,18 +366,24 @@ func ChainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *
 // counts are cache-independent).
 func VerifyCommitment(stats *cryptoutil.Stats, pub cryptoutil.PublicKey, t types.Time, hash, sig []byte) bool {
 	stats.CountVerify()
-	return cryptoutil.DefaultVerifyCache.Verify(stats, pub, signedMaterial(t, hash), sig)
+	w := signedMaterialW(t, hash)
+	ok := cryptoutil.DefaultVerifyCache.Verify(stats, pub, w.Bytes(), sig)
+	wire.PutWriter(w)
+	return ok
 }
 
-// chainHash computes h_k = H(h_{k-1} ‖ t_k ‖ y_k ‖ c_k).
+// chainHash computes h_k = H(h_{k-1} ‖ t_k ‖ y_k ‖ c_k). The encoding is
+// consumed by the hash before the pooled buffer is released.
 func chainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *Entry) []byte {
-	w := wire.NewWriter(256)
+	w := wire.GetWriter()
 	w.BytesField(prev)
 	w.Int(int64(e.T))
 	w.Byte(byte(e.Type))
 	e.marshalContent(w)
 	stats.CountHash(w.Len())
-	return suite.Hash(w.Bytes())
+	h := suite.Hash(w.Bytes())
+	wire.PutWriter(w)
+	return h
 }
 
 // Append adds an entry and returns its sequence number.
@@ -405,7 +419,9 @@ func (l *Log) AuthenticatorAt(seq uint64) (Authenticator, error) {
 	}
 	e := l.EntryAt(seq)
 	h := l.HashAt(seq)
-	sig, err := l.key.Sign(signedMaterial(e.T, h))
+	w := signedMaterialW(e.T, h)
+	sig, err := l.key.Sign(w.Bytes())
+	wire.PutWriter(w)
 	if err != nil {
 		return Authenticator{}, err
 	}
@@ -416,7 +432,9 @@ func (l *Log) AuthenticatorAt(seq uint64) (Authenticator, error) {
 // Sign signs arbitrary material with the log's key (used by the commitment
 // protocol for envelope signatures, which cover (t‖h) like authenticators).
 func (l *Log) Sign(t types.Time, hash []byte) ([]byte, error) {
-	sig, err := l.key.Sign(signedMaterial(t, hash))
+	w := signedMaterialW(t, hash)
+	sig, err := l.key.Sign(w.Bytes())
+	wire.PutWriter(w)
 	l.stats.CountSign()
 	return sig, err
 }

@@ -1,0 +1,172 @@
+package simnet_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/mincost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// auditDigest captures every deterministic observable of auditing all nodes
+// of one run: the exact failure sequence, the full vertex set with colors,
+// the edge count, and the query metrics.
+type auditDigest struct {
+	failures string
+	vertices string
+	edges    int
+	metrics  string
+}
+
+// digestAudit audits every node of the network, either strictly serially or
+// through the parallel prepare/commit pipeline, and digests the outcome.
+func digestAudit(t *testing.T, net *simnet.Net, parallel bool) auditDigest {
+	t.Helper()
+	q := net.NewQuerier(mincost.Factory())
+	nodes := net.Nodes()
+	if parallel {
+		q.Parallelism = 4
+		q.BeginAuditScope(nodes, 0)
+		defer q.CloseScope()
+	}
+	for _, n := range nodes {
+		_ = q.EnsureAudited(n, 0) // fetch errors surface as yellow nodes
+	}
+	q.Auditor.Finalize()
+	var d auditDigest
+	var fails strings.Builder
+	for _, f := range q.Auditor.Failures() {
+		fails.WriteString(f.String())
+		fails.WriteByte('\n')
+	}
+	d.failures = fails.String()
+	var verts strings.Builder
+	for _, v := range q.Auditor.Graph().Vertices() {
+		verts.WriteString(v.ID())
+		verts.WriteByte('=')
+		verts.WriteString(v.Color.String())
+		verts.WriteByte('\n')
+	}
+	d.vertices = verts.String()
+	d.edges = q.Auditor.Graph().EdgeCount()
+	d.metrics = fmt.Sprintf("log=%d auth=%d ckpt=%d contacted=%d micro=%d",
+		q.Metrics.LogBytes, q.Metrics.AuthBytes, q.Metrics.CkptBytes,
+		q.Metrics.NodesContacted, q.Metrics.Microqueries)
+	return d
+}
+
+// TestParallelAuditMatchesSerial pins the parallel audit pipeline's
+// determinism contract: preparing audits on a worker pool and committing
+// them in demand order must produce byte-identical failures, vertices,
+// colors, edges, and metrics to a fully sequential audit — on a clean run
+// and under each class of injected fault.
+func TestParallelAuditMatchesSerial(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		mutate func(*simnet.Net)
+	}{
+		{"clean", nil},
+		{"suppression", func(net *simnet.Net) {
+			b := net.Node("b")
+			b.DropSend = func(m types.Message) bool {
+				return m.Dst == "c" && m.Tuple.Rel == "cost"
+			}
+		}},
+		{"fabrication", func(net *simnet.Net) {
+			b := net.Node("b")
+			injected := false
+			b.Tamper = func(ev types.Event, outs []types.Output) []types.Output {
+				if injected || ev.Kind != types.EvIns {
+					return outs
+				}
+				injected = true
+				forged := mincost.Cost("c", "d", "b", 1)
+				msg := &types.Message{Src: "b", Dst: "c", Pol: types.PolAppear,
+					Tuple: forged, SendTime: ev.Time, Seq: 9999}
+				return append(outs, types.Output{Kind: types.OutSend, Msg: msg})
+			}
+		}},
+		{"refusal", func(net *simnet.Net) {
+			net.Node("b").RefuseAudit = true
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			serial := digestAudit(t, runMinCost(t, sc.mutate), false)
+			parallel := digestAudit(t, runMinCost(t, sc.mutate), true)
+			if serial.failures != parallel.failures {
+				t.Errorf("failure sequences differ:\nserial:\n%s\nparallel:\n%s",
+					serial.failures, parallel.failures)
+			}
+			if serial.vertices != parallel.vertices {
+				t.Errorf("vertex sets differ:\nserial:\n%s\nparallel:\n%s",
+					serial.vertices, parallel.vertices)
+			}
+			if serial.edges != parallel.edges {
+				t.Errorf("edge counts differ: serial=%d parallel=%d", serial.edges, parallel.edges)
+			}
+			if serial.metrics != parallel.metrics {
+				t.Errorf("metrics differ:\nserial:   %s\nparallel: %s", serial.metrics, parallel.metrics)
+			}
+			// The fault scenarios must actually produce the signal they
+			// inject, or the comparison proves nothing.
+			switch sc.name {
+			case "suppression", "fabrication":
+				if !strings.Contains(parallel.vertices, "=red") {
+					t.Error("expected red vertices in faulty scenario")
+				}
+			case "refusal":
+				if !strings.Contains(parallel.vertices, "=yellow") {
+					t.Error("expected yellow vertices when a node refuses audits")
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAuditRevisit checks that committing an already-audited node a
+// second time (e.g. a scope node also reached by traversal) is a no-op under
+// the pipeline, as it is serially.
+func TestParallelAuditRevisit(t *testing.T) {
+	net := runMinCost(t, nil)
+	q := net.NewQuerier(mincost.Factory())
+	q.BeginAuditScope(net.Nodes(), 0)
+	defer q.CloseScope()
+	for i := 0; i < 2; i++ {
+		for _, n := range net.Nodes() {
+			if err := q.EnsureAudited(n, 0); err != nil {
+				t.Fatalf("EnsureAudited(%s): %v", n, err)
+			}
+		}
+	}
+	if got, want := q.Metrics.NodesContacted, len(net.Nodes()); got != want {
+		t.Errorf("NodesContacted = %d, want %d (revisits must not refetch)", got, want)
+	}
+	if err := q.Auditor.Graph().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkProvgraphRebuild times the serial commit half in isolation:
+// replaying one audited node into a fresh graph. It is the floor on query
+// latency that parallel preparation cannot remove.
+func BenchmarkProvgraphRebuild(b *testing.B) {
+	cfg := simnet.DefaultConfig()
+	net := simnet.New(cfg)
+	if err := mincost.Deploy(net, mincost.Figure2Topology, 1*types.Second); err != nil {
+		b.Fatal(err)
+	}
+	net.Run(30 * types.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := net.NewQuerier(mincost.Factory())
+		if err := q.EnsureAudited("b", 0); err != nil {
+			b.Fatal(err)
+		}
+		q.Auditor.Finalize()
+	}
+}

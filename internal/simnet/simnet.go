@@ -60,12 +60,14 @@ func (t *Traffic) TotalBytes() int64 {
 // baselineSize is the wire size of a message without SNP's provenance
 // metadata (send timestamp and sequence number).
 func baselineSize(m *types.Message) int {
-	w := wire.NewWriter(64)
+	w := wire.GetWriter()
 	w.String(string(m.Src))
 	w.String(string(m.Dst))
 	w.Byte(byte(m.Pol))
 	m.Tuple.MarshalWire(w)
-	return w.Len()
+	n := w.Len()
+	wire.PutWriter(w)
+	return n
 }
 
 // Config extends the SNooPy node config with simulator knobs.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Marshaler is implemented by types that can append their canonical
@@ -41,6 +42,33 @@ type Writer struct {
 // NewWriter returns a Writer with the given initial capacity.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles Writers for transient encodings (sizing, hashing,
+// signing material). Entries whose buffers grew past maxPooledCap are
+// dropped rather than pinned in the pool.
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(1024) },
+}
+
+const maxPooledCap = 1 << 16
+
+// GetWriter returns an empty Writer from the process-wide pool. Use it for
+// encodings that are consumed before the next write — hash input, signature
+// material, size probes — and release it with PutWriter. Safe for
+// concurrent use.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not retain w or any
+// slice returned by w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) <= maxPooledCap {
+		writerPool.Put(w)
+	}
 }
 
 // Bytes returns the encoded bytes. The slice aliases the Writer's internal
@@ -287,7 +315,9 @@ func Decode(buf []byte, m Unmarshaler) error {
 
 // Size returns the encoded size of m in bytes.
 func Size(m Marshaler) int {
-	w := NewWriter(64)
+	w := GetWriter()
 	m.MarshalWire(w)
-	return w.Len()
+	n := w.Len()
+	PutWriter(w)
+	return n
 }
