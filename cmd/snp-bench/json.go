@@ -109,6 +109,54 @@ func writeJSONResults(path, baselinePath string, iters int, o eval.Options) erro
 		})
 	}
 
+	// Store-backed variant: the same Quagga run with every log spilled to a
+	// disk-backed segment store under a bounded hot tail, so the store's
+	// append path is tracked alongside the in-memory series. The metric
+	// values must stay bit-identical to the in-memory Fig5/Fig6 rows.
+	{
+		dir, err := os.MkdirTemp("", "snp-bench-store-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		so := o
+		so.LogDir = dir
+		so.LogHotTail = eval.DefaultHotTail
+		var res *eval.RunResult
+		d, cold, err := timed(iters, func() (e error) {
+			res, e = eval.Run(eval.Quagga, so)
+			if e == nil {
+				// Close inside the timed region so every iteration (cold
+				// and warm) measures the same run + sync + close work; the
+				// Figure 5/6 series read only in-memory counters.
+				e = res.Net.CloseLogs()
+			}
+			return
+		})
+		if err != nil {
+			return fmt.Errorf("Quagga (store-backed): %w", err)
+		}
+		f5, f6 := eval.Figure5(res), eval.Figure6(res)
+		results = append(results,
+			BenchResult{
+				Name: "BenchmarkFig5QuaggaStore", NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
+				Metrics: map[string]float64{
+					"traffic-factor": f5.Factor,
+					"baseline-bytes": float64(f5.BaselineBytes),
+					"auth-bytes":     float64(f5.AuthBytes),
+					"ack-bytes":      float64(f5.AckBytes),
+					"messages":       float64(f5.Messages),
+				},
+			},
+			BenchResult{
+				Name: "BenchmarkFig6QuaggaStore", NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
+				Metrics: map[string]float64{
+					"MB/min/node": f6.MBPerMin,
+					"ckpt-bytes":  float64(f6.CkptBytes),
+				},
+			})
+	}
+
 	// The Fig8 query benchmarks: a fresh run plus the query, like the go
 	// benchmarks (which re-run the config inside the timed loop).
 	queries := []struct {

@@ -25,9 +25,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario on its own (not part of 'all')")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	logDir := flag.String("logdir", "", "back every node's tamper-evident log with an on-disk segment store under this directory")
+	hotTail := flag.Int("hot-tail", 0, "resident decoded entries per store-backed log (0 = all; requires -logdir)")
 	jsonOut := flag.String("json", "", "write machine-readable results (name → ns/op + metrics) to this file and exit")
 	baseline := flag.String("baseline", "", "previous -json output to embed as the baseline for comparison")
 	benchScale := flag.Float64("bench-scale", 0.02, "workload scale used for -json runs (matches go test -bench)")
@@ -35,6 +37,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after all runs) to this file")
 	flag.Parse()
+
+	if *hotTail != 0 && *logDir == "" && *fig != "retention" {
+		log.Fatal("-hot-tail only takes effect with -logdir (or -fig retention)")
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -68,8 +74,39 @@ func main() {
 		return
 	}
 
-	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed}
+	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed, LogDir: *logDir, LogHotTail: *hotTail}
 	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if *fig == "retention" {
+		// The §5.6 long-retention scenario: a store-backed run (Figure 6
+		// accounting over the spilled logs, checked bit-identical against an
+		// in-memory baseline) plus crash recovery and a full re-audit of one
+		// node's on-disk store. Run with -scale 1.0 for the paper-sized
+		// experiment.
+		dir := *logDir
+		autoDir := dir == ""
+		if autoDir {
+			var err error
+			dir, err = os.MkdirTemp("", "snp-retention-")
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("== Long retention: disk-backed segment store + crash recovery ==")
+		rep, err := eval.LongRetention(eval.Quagga, o, dir)
+		if autoDir {
+			// Remove before any Fatal: log.Fatal skips deferred cleanup, and
+			// a paper-scale store directory is worth gigabytes.
+			os.RemoveAll(dir)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", rep)
+		fmt.Println("  fig6 (spilled):", rep.Fig6)
+		fmt.Println("  fig6 (memory): ", rep.BaselineFig6)
+		return
+	}
 
 	if run("5") || run("6") || run("7") {
 		costs, err := eval.MeasureCryptoCosts(cryptoutil.Ed25519SHA256)
@@ -91,6 +128,9 @@ func main() {
 			if run("7") {
 				fmt.Println("  fig7:", eval.Figure7(res, costs))
 			}
+			// Release store-backed logs (no-op for in-memory runs): with
+			// -logdir, later runs reuse the same per-node file paths.
+			_ = res.Net.CloseLogs()
 		}
 		fmt.Println()
 	}
@@ -111,6 +151,7 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "  Quagga-BadGadget:", err)
 		}
+		_ = quagga.Net.CloseLogs()
 		for _, cfgName := range []eval.ConfigName{eval.ChordSmall, eval.ChordLarge} {
 			res, err := eval.Run(cfgName, o)
 			if err != nil {
@@ -121,6 +162,7 @@ func main() {
 			} else {
 				fmt.Fprintln(os.Stderr, "  Chord-Lookup:", err)
 			}
+			_ = res.Net.CloseLogs()
 		}
 		hadoop, err := eval.Run(eval.HadoopSmall, o)
 		if err != nil {
@@ -131,6 +173,7 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "  Hadoop-Squirrel:", err)
 		}
+		_ = hadoop.Net.CloseLogs()
 		fmt.Println()
 	}
 

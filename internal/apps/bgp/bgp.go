@@ -414,6 +414,9 @@ func Deploy(net *simnet.Net, links []ASLink, syncEvery, duration types.Time) (*D
 	}
 	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	prog := Program()
+	if err := prog.Err(); err != nil {
+		return nil, err
+	}
 	d := &Deployment{Net: net, Speakers: map[types.NodeID]*Speaker{}, Names: names}
 	for i, n := range names {
 		if _, err := net.AddNode(n, int64(1000+i), dlog.NewMachine(prog, n)); err != nil {

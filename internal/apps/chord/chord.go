@@ -317,6 +317,9 @@ func DefaultParams(n int) Params {
 // application lookups. It returns the node names.
 func Deploy(net *simnet.Net, p Params) ([]types.NodeID, error) {
 	prog := Program()
+	if err := prog.Err(); err != nil {
+		return nil, err
+	}
 	names := make([]types.NodeID, p.N)
 	ids := make(map[types.NodeID]int64, p.N)
 	used := make(map[int64]bool, p.N)

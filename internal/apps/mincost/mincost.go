@@ -110,6 +110,9 @@ func NodesOf(edges []Edge) []types.NodeID {
 // link costs, §3.3).
 func Deploy(net *simnet.Net, edges []Edge, linkTime types.Time) error {
 	prog := Program()
+	if err := prog.Err(); err != nil {
+		return err
+	}
 	for i, id := range NodesOf(edges) {
 		if _, err := net.AddNode(id, int64(i+1), dlog.NewMachine(prog, id)); err != nil {
 			return err

@@ -29,6 +29,20 @@ type Config struct {
 	CheckpointEvery types.Time
 	// Suite selects the crypto suite; nil means cryptoutil.Ed25519SHA256.
 	Suite cryptoutil.Suite
+	// LogDir, when non-empty, backs each node's tamper-evident log with an
+	// on-disk segment store rooted at this directory (one data file plus a
+	// sidecar per node), lifting the in-memory retention limit of §5.6.
+	LogDir string
+	// LogHotTail bounds the number of decoded log entries kept resident
+	// when the log is store-backed; older entries are decoded from disk on
+	// demand. Zero (or negative) keeps every retained entry hot.
+	LogHotTail int
+	// LogRecover makes NewNode reopen an existing segment store in LogDir
+	// (crash recovery: replay, chain re-verification, torn-tail repair)
+	// instead of creating a fresh one. Without it, NewNode truncates any
+	// previous store for the node — the right semantics for a fresh run,
+	// destructive for a restart.
+	LogRecover bool
 }
 
 func (c Config) suite() cryptoutil.Suite {

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sort"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/seclog"
@@ -59,6 +60,11 @@ type Node struct {
 
 	// DropCount counts messages suppressed via DropSend.
 	DropCount int
+
+	// failure is the node's first unrecoverable local fault (e.g. a signing
+	// failure): the node stops being able to uphold the commitment protocol
+	// but must not take the rest of the deployment down with it.
+	failure error
 }
 
 type pendingEnvelope struct {
@@ -71,15 +77,42 @@ type pendingEnvelope struct {
 }
 
 // NewNode assembles a node. net may be nil for single-node tests (sends are
-// then dropped).
+// then dropped). When cfg.LogDir is set the node's log is backed by an
+// on-disk segment store, which can fail to initialize.
 func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Directory,
-	maint *Maintainer, clock Clock, net Sender, machine types.Machine) *Node {
+	maint *Maintainer, clock Clock, net Sender, machine types.Machine) (*Node, error) {
 	stats := new(cryptoutil.Stats)
+	var lg *seclog.Log
+	switch {
+	case cfg.LogDir != "" && cfg.LogRecover:
+		var err error
+		lg, err = seclog.Open(cfg.LogDir, id, cfg.suite(), key, stats, cfg.LogHotTail)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.LogDir != "":
+		var err error
+		lg, err = seclog.NewStored(cfg.LogDir, id, cfg.suite(), key, stats, cfg.LogHotTail)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		lg = seclog.New(id, cfg.suite(), key, stats)
+	}
+	// A recovered log already has timestamped history: new entries must not
+	// go backwards, or retrieve's monotonic-timestamp searches break.
+	var lastT types.Time
+	if lg.Len() >= lg.FirstSeq() && lg.Len() > 0 {
+		if e, err := lg.Entry(lg.Len()); err == nil {
+			lastT = e.T
+		}
+	}
 	return &Node{
 		ID:          id,
 		Machine:     machine,
-		Log:         seclog.New(id, cfg.suite(), key, stats),
+		Log:         lg,
 		Auths:       seclog.NewAuthSet(),
+		lastEntryT:  lastT,
 		Stats:       stats,
 		cfg:         cfg,
 		suite:       cfg.suite(),
@@ -91,7 +124,26 @@ func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Direct
 		outQ:        make(map[types.NodeID][]types.Message),
 		queueSince:  make(map[types.NodeID]types.Time),
 		outstanding: make(map[types.MessageID]*pendingEnvelope),
+	}, nil
+}
+
+// fault records the node's first unrecoverable local fault and returns it.
+func (n *Node) fault(err error) error {
+	if n.failure == nil {
+		n.failure = err
 	}
+	return err
+}
+
+// Err returns the node's first unrecoverable local fault: a signing failure
+// or a sticky log-store write error. A faulty node keeps running (and will
+// be exposed as faulty by audits), but callers can use Err to surface the
+// condition instead of crashing the deployment.
+func (n *Node) Err() error {
+	if n.failure != nil {
+		return n.failure
+	}
+	return n.Log.Err()
 }
 
 // now returns the node's clock, forced monotonic so log entry timestamps
@@ -109,60 +161,81 @@ func (n *Node) now() types.Time {
 // Primary-system inputs.
 
 // InsertBase inserts a base tuple (logged as ins, then fed to the machine).
-func (n *Node) InsertBase(tup types.Tuple) {
+// The returned error reports a local fault (e.g. a signing failure while
+// flushing resulting sends); the tuple itself is always logged.
+func (n *Node) InsertBase(tup types.Tuple) error {
 	t := n.now()
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: tup})
-	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
+	return n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
 }
 
 // DeleteBase removes a base tuple.
-func (n *Node) DeleteBase(tup types.Tuple) {
+func (n *Node) DeleteBase(tup types.Tuple) error {
 	t := n.now()
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: tup})
-	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup})
+	return n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup})
 }
 
 // InsertEvent injects a transient event tuple (e.g. a timer tick): an ins
 // immediately followed by a del, so the provenance graph records the
-// appearance and disappearance at the same instant.
-func (n *Node) InsertEvent(tup types.Tuple) {
+// appearance and disappearance together. The del is re-stamped with now():
+// stepping the ins may flush envelopes whose snd entries carry a later
+// timestamp, and log timestamps must stay monotone (retrieve relies on it).
+// Under the simulator the clock is frozen within a callback, so both
+// entries still share one instant.
+func (n *Node) InsertEvent(tup types.Tuple) error {
 	t := n.now()
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: tup})
-	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
+	err := n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: tup})
+	t = n.now()
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: tup})
-	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup})
+	if err2 := n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: tup}); err == nil {
+		err = err2
+	}
+	return err
 }
 
 // InsertMaybe fires a 'maybe' rule (§3.4): the node chooses to derive head
 // from body. replaces optionally names tuples whose simultaneous removal
 // causally precedes the insertion (§3.4 constraints); they are deleted
 // first, attributed to the same rule.
-func (n *Node) InsertMaybe(rule string, head types.Tuple, body []types.Tuple, replaces []types.Tuple) {
+func (n *Node) InsertMaybe(rule string, head types.Tuple, body []types.Tuple, replaces []types.Tuple) error {
+	// Each entry is stamped with a fresh now(): stepping a deletion may
+	// flush envelopes with later timestamps, and the log must stay
+	// monotone. The simulator's frozen per-callback clock keeps the whole
+	// firing at one instant there.
 	t := n.now()
+	var err error
 	for _, old := range replaces {
 		n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: old,
 			MaybeRule: rule, MaybeBody: body})
-		n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: old,
-			MaybeRule: rule, MaybeBody: body})
+		if err2 := n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: old,
+			MaybeRule: rule, MaybeBody: body}); err == nil {
+			err = err2
+		}
+		t = n.now()
 	}
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EIns, Tuple: head,
 		MaybeRule: rule, MaybeBody: body, Replaces: replaces})
-	n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: head,
-		MaybeRule: rule, MaybeBody: body, Replaces: replaces})
+	if err2 := n.step(types.Event{Kind: types.EvIns, Node: n.ID, Time: t, Tuple: head,
+		MaybeRule: rule, MaybeBody: body, Replaces: replaces}); err == nil {
+		err = err2
+	}
+	return err
 }
 
 // DeleteMaybe withdraws a maybe-derived tuple, attributing the deletion to
 // rule with the given body.
-func (n *Node) DeleteMaybe(rule string, head types.Tuple, body []types.Tuple) {
+func (n *Node) DeleteMaybe(rule string, head types.Tuple, body []types.Tuple) error {
 	t := n.now()
 	n.Log.Append(&seclog.Entry{T: t, Type: seclog.EDel, Tuple: head,
 		MaybeRule: rule, MaybeBody: body})
-	n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: head,
+	return n.step(types.Event{Kind: types.EvDel, Node: n.ID, Time: t, Tuple: head,
 		MaybeRule: rule, MaybeBody: body})
 }
 
 // step feeds one event to the machine and processes its outputs.
-func (n *Node) step(ev types.Event) {
+func (n *Node) step(ev types.Event) error {
 	outs := n.Machine.Step(ev)
 	if n.Tamper != nil {
 		outs = n.Tamper(ev, outs)
@@ -185,26 +258,35 @@ func (n *Node) step(ev types.Event) {
 		}
 	}
 	if n.cfg.Tbatch == 0 {
-		n.flushAll()
+		return n.flushAll()
 	}
+	return nil
 }
 
-// flushAll transmits every queued envelope, in destination order.
-func (n *Node) flushAll() {
+// flushAll transmits every queued envelope, in destination order. The first
+// flush error is returned; remaining destinations are still attempted.
+func (n *Node) flushAll() error {
 	if len(n.dstOrder) == 0 {
-		return
+		return nil
 	}
+	var err error
 	for _, d := range append([]types.NodeID(nil), n.dstOrder...) {
-		n.flush(d)
+		if err2 := n.flush(d); err == nil {
+			err = err2
+		}
 	}
+	return err
 }
 
 // flush sends one envelope carrying all messages queued for dst: one snd
-// log entry, one signature, one eventual ack (§5.4, §5.6).
-func (n *Node) flush(dst types.NodeID) {
+// log entry, one signature, one eventual ack (§5.4, §5.6). A signing
+// failure is recorded as the node's fault and returned: the snd entry is
+// already in the log, so the unsent (and thus unacknowledged) envelope will
+// surface in audits, but the rest of the deployment keeps running.
+func (n *Node) flush(dst types.NodeID) error {
 	msgs := n.outQ[dst]
 	if len(msgs) == 0 {
-		return
+		return nil
 	}
 	delete(n.outQ, dst)
 	delete(n.queueSince, dst)
@@ -216,7 +298,7 @@ func (n *Node) flush(dst types.NodeID) {
 	seq := n.Log.Append(&seclog.Entry{T: t, Type: seclog.ESnd, Msgs: msgs})
 	sig, err := n.Log.Sign(t, n.Log.HeadHash())
 	if err != nil {
-		panic(fmt.Sprintf("core: signing failed on %s: %v", n.ID, err))
+		return n.fault(fmt.Errorf("core: signing failed on %s: %w", n.ID, err))
 	}
 	env := &Envelope{Msgs: msgs, PrevHash: prev, T: t, Sig: sig, Seq: seq}
 	id := msgs[0].ID()
@@ -227,6 +309,7 @@ func (n *Node) flush(dst types.NodeID) {
 	if n.net != nil {
 		n.net.Send(n.ID, dst, &Packet{Kind: PktEnvelope, Envelope: env})
 	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +358,7 @@ func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
 		PeerPrevHash: env.PrevHash, PeerTime: env.T, PeerSig: env.Sig, PeerSeq: env.Seq})
 	sig, err := n.Log.Sign(t, n.Log.HeadHash())
 	if err != nil {
-		return err
+		return n.fault(fmt.Errorf("core: signing failed on %s: %w", n.ID, err))
 	}
 	ids := make([]types.MessageID, len(env.Msgs))
 	for i := range env.Msgs {
@@ -287,11 +370,14 @@ func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
 		}})
 	}
 	// Feed the messages to the machine, in envelope order.
+	var stepErr error
 	for i := range env.Msgs {
 		msg := env.Msgs[i]
-		n.step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: t, Msg: &msg})
+		if err := n.step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: t, Msg: &msg}); stepErr == nil {
+			stepErr = err
+		}
 	}
-	return nil
+	return stepErr
 }
 
 func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
@@ -342,14 +428,19 @@ func cmpOutID(a, b types.MessageID) int {
 // Periodic duties.
 
 // Tick drives batching, retransmission, missing-ack notification, and
-// checkpointing. The harness calls it periodically.
-func (n *Node) Tick() {
+// checkpointing. The harness calls it periodically. The returned error
+// reports a local fault (signing failure on a batched flush); the node
+// keeps ticking.
+func (n *Node) Tick() error {
 	t := n.now()
+	var err error
 	// Flush batches older than Tbatch.
 	if n.cfg.Tbatch > 0 && len(n.dstOrder) > 0 {
 		for _, d := range append([]types.NodeID(nil), n.dstOrder...) {
 			if t-n.queueSince[d] >= n.cfg.Tbatch {
-				n.flush(d)
+				if err2 := n.flush(d); err == nil {
+					err = err2
+				}
 			}
 		}
 	}
@@ -374,6 +465,7 @@ func (n *Node) Tick() {
 	if n.cfg.CheckpointEvery > 0 && t-n.lastCkpt >= n.cfg.CheckpointEvery {
 		n.WriteCheckpoint()
 	}
+	return err
 }
 
 // WriteCheckpoint records the machine's full state in the log (§5.6).
@@ -394,6 +486,10 @@ var ErrAuditRefused = fmt.Errorf("core: node refuses to answer")
 // HandleRetrieve serves the retrieve primitive of §5.4: the log segment
 // from the last checkpoint before StartTime through at least the evidence
 // position (extended to EndTime or the head, with a fresh authenticator).
+//
+// Every sequence number derived from the request is peer-influenced and is
+// range-checked before it touches the log: a malformed or adversarial
+// request yields an error (evidence for the querier), never a panic.
 func (n *Node) HandleRetrieve(req RetrieveRequest) (*RetrieveResponse, error) {
 	if n.RefuseAudit {
 		return nil, ErrAuditRefused
@@ -401,31 +497,58 @@ func (n *Node) HandleRetrieve(req RetrieveRequest) (*RetrieveResponse, error) {
 	if n.Log.Len() == 0 {
 		return nil, fmt.Errorf("core: %s has an empty log", n.ID)
 	}
-	// Position of the first entry at or after StartTime.
-	start := n.Log.Len()
-	for s := n.Log.FirstSeq(); s <= n.Log.Len(); s++ {
-		if n.Log.EntryAt(s).T >= req.StartTime {
-			start = s
-			break
+	first, last := n.Log.FirstSeq(), n.Log.Len()
+	if first > last {
+		return nil, fmt.Errorf("core: %s retains no history (truncated past %d)", n.ID, last)
+	}
+	// Position of the first entry at or after StartTime. Entry timestamps
+	// are monotone (now() never goes backwards), so a binary search matches
+	// the historical linear scan without paging in cold history.
+	var readErr error
+	entryT := func(seq uint64) types.Time {
+		e, err := n.Log.Entry(seq)
+		if err != nil {
+			if readErr == nil {
+				readErr = err
+			}
+			return types.Time(0)
 		}
+		return e.T
+	}
+	count := int(last - first + 1)
+	idx := sort.Search(count, func(i int) bool { return readErr != nil || entryT(first+uint64(i)) >= req.StartTime })
+	if readErr != nil {
+		return nil, readErr
+	}
+	start := last
+	if idx < count {
+		start = first + uint64(idx)
 	}
 	from := n.Log.LastCheckpointBefore(start)
 	if from == 0 {
-		from = n.Log.FirstSeq()
+		from = first
 	}
 	// End: cover the evidence and the vertex lifetime.
 	end := req.Auth.Seq
 	if end < from {
 		end = from
 	}
+	if end > last {
+		return nil, fmt.Errorf("core: %s cannot cover evidence position %d (log ends at %d)", n.ID, end, last)
+	}
 	if req.EndTime == 0 || req.EndTime >= n.lastEntryT {
-		end = n.Log.Len()
+		end = last
 	} else {
-		for s := end; s <= n.Log.Len(); s++ {
-			end = s
-			if n.Log.EntryAt(s).T > req.EndTime {
-				break
-			}
+		// The first entry in [end..last] past EndTime (inclusive), or last.
+		span := int(last - end + 1)
+		m := sort.Search(span, func(i int) bool { return readErr != nil || entryT(end+uint64(i)) > req.EndTime })
+		if readErr != nil {
+			return nil, readErr
+		}
+		if m < span {
+			end += uint64(m)
+		} else {
+			end = last
 		}
 	}
 	seg, err := n.Log.Segment(from, end)

@@ -220,6 +220,12 @@ func (a *Auditor) Prepare(node types.NodeID, resp *RetrieveResponse, evidence se
 	p := &prep{a: a, node: node}
 	out := &PreparedAudit{Node: node, resp: resp}
 	seg := resp.Segment
+	if seg == nil {
+		p.fail(node, 0, "returned a response without a segment")
+		out.ops = p.ops
+		out.err = fmt.Errorf("core: retrieve response without a segment")
+		return out
+	}
 	if seg.Node != node {
 		p.fail(node, 0, "returned a segment for %s", seg.Node)
 		out.ops = p.ops

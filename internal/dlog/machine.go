@@ -185,6 +185,12 @@ func Factory(prog *Program) types.MachineFactory {
 // Self returns the node this machine runs on.
 func (m *Machine) Self() types.NodeID { return m.self }
 
+// Err surfaces the program's declaration error, if any: a machine built
+// from a broken protocol definition evaluates only the rules that compiled,
+// and callers (deployments, replay harnesses) should check Err before
+// trusting its outputs.
+func (m *Machine) Err() error { return m.prog.Err() }
+
 // Step implements types.Machine.
 func (m *Machine) Step(ev types.Event) []types.Output {
 	m.now = ev.Time

@@ -164,10 +164,28 @@ type Relation struct {
 
 // Program is a compiled set of relations, rules, and builtins shared by all
 // nodes running the same protocol. Programs are immutable after Compile.
+//
+// Declaration helpers (Relation, MustFunc, MustAddRule) do not panic on a
+// bad definition: the first error is recorded and reported by Err, and
+// every machine built from the program carries it, so a broken protocol
+// definition surfaces as an error at deployment or evaluation time instead
+// of crashing the process.
 type Program struct {
 	relations map[string]Relation
 	rules     []*compiledRule
 	funcs     map[string]Func
+	err       error // first declaration error, reported by Err
+}
+
+// Err returns the first error recorded while declaring relations, builtins,
+// or rules (nil for a well-formed program).
+func (p *Program) Err() error { return p.err }
+
+// setErr records the first declaration error.
+func (p *Program) setErr(err error) {
+	if p.err == nil {
+		p.err = err
+	}
 }
 
 type compiledRule struct {
@@ -296,19 +314,22 @@ func NewProgram() *Program {
 	return p
 }
 
-// Relation declares a relation. It panics on redeclaration with a different
-// shape; declaring protocols is initialization-time work.
+// Relation declares a relation. Redeclaration with a different shape is
+// recorded as a program error (see Err).
 func (p *Program) Relation(name string, arity int, event bool) {
 	if r, ok := p.relations[name]; ok && (r.Arity != arity || r.Event != event) {
-		panic(fmt.Sprintf("dlog: relation %s redeclared with different shape", name))
+		p.setErr(fmt.Errorf("dlog: relation %s redeclared with different shape", name))
+		return
 	}
 	p.relations[name] = Relation{Name: name, Arity: arity, Event: event}
 }
 
-// MustFunc registers a builtin function.
+// MustFunc registers a builtin function. Registering the same name twice is
+// recorded as a program error (see Err).
 func (p *Program) MustFunc(name string, fn Func) {
 	if _, ok := p.funcs[name]; ok {
-		panic(fmt.Sprintf("dlog: builtin %s registered twice", name))
+		p.setErr(fmt.Errorf("dlog: builtin %s registered twice", name))
+		return
 	}
 	p.funcs[name] = fn
 }
@@ -450,10 +471,12 @@ func (p *Program) AddRule(r Rule) error {
 	return nil
 }
 
-// MustAddRule is AddRule that panics on error; protocol definitions are
-// static, so a bad rule is a programming error.
+// MustAddRule is AddRule with the error deferred: a bad rule is recorded in
+// the program (see Err) and skipped instead of panicking, so a broken
+// protocol definition is surfaced by the deployment or the machines built
+// from the program rather than taking down the process.
 func (p *Program) MustAddRule(r Rule) {
 	if err := p.AddRule(r); err != nil {
-		panic(err)
+		p.setErr(err)
 	}
 }

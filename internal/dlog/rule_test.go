@@ -1,0 +1,66 @@
+package dlog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestBrokenRuleDoesNotPanic: a bad protocol definition must be recorded and
+// surfaced through Program.Err and Machine.Err, never panic the process.
+func TestBrokenRuleDoesNotPanic(t *testing.T) {
+	p := NewProgram()
+	p.Relation("a", 2, false)
+	p.MustAddRule(Rule{ // undeclared head relation: a compile error
+		Name: "bad", Action: ActDerive,
+		Head: A("nope", V("X")),
+		Body: []Atom{A("a", V("X"), V("Y"))},
+	})
+	err := p.Err()
+	if err == nil {
+		t.Fatal("broken rule recorded no error")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the bad relation: %v", err)
+	}
+	// A later, valid rule still compiles; the first error is kept.
+	p.Relation("b", 2, false)
+	p.MustAddRule(Rule{
+		Name: "ok", Action: ActDerive,
+		Head: A("b", V("X"), V("Y")),
+		Body: []Atom{A("a", V("X"), V("Y"))},
+	})
+	if got := p.Err(); got != err {
+		t.Errorf("first error not sticky: %v", got)
+	}
+	if len(p.Rules()) != 1 || p.Rules()[0] != "ok" {
+		t.Errorf("Rules() = %v, want just the valid rule", p.Rules())
+	}
+	// Machines built from the program carry the error.
+	m := NewMachine(p, "n1")
+	if m.Err() == nil {
+		t.Error("machine does not surface the program error")
+	}
+	// And still evaluate the rules that did compile.
+	m.Step(types.Event{Kind: types.EvIns, Node: "n1", Time: 1,
+		Tuple: types.MakeTuple("a", types.N("n1"), types.I(1))})
+	if !m.Lookup(types.MakeTuple("b", types.N("n1"), types.I(1))) {
+		t.Error("valid rule did not fire")
+	}
+}
+
+// TestProgramDeclarationErrors covers the other deferred-error paths.
+func TestProgramDeclarationErrors(t *testing.T) {
+	p := NewProgram()
+	p.Relation("r", 2, false)
+	p.Relation("r", 3, false) // redeclared with a different shape
+	if p.Err() == nil {
+		t.Error("relation redeclaration recorded no error")
+	}
+	p2 := NewProgram()
+	p2.MustFunc("add", func(a []types.Value) types.Value { return a[0] }) // duplicate builtin
+	if p2.Err() == nil {
+		t.Error("duplicate builtin recorded no error")
+	}
+}

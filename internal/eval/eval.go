@@ -90,6 +90,13 @@ type Options struct {
 	Tbatch types.Time // 0 = no batching
 	Suite  cryptoutil.Suite
 	Seed   int64
+	// LogDir, when set, backs every node's tamper-evident log with an
+	// on-disk segment store rooted there (core.Config.LogDir). All
+	// deterministic metric series are bit-identical to an in-memory run.
+	LogDir string
+	// LogHotTail bounds resident decoded log entries per node when LogDir
+	// is set; zero keeps everything hot.
+	LogHotTail int
 }
 
 func (o Options) normalize() Options {
@@ -106,10 +113,30 @@ func (o Options) simCfg() simnet.Config {
 	cfg := simnet.DefaultConfig()
 	cfg.Seed = o.Seed
 	cfg.Core.Tbatch = o.Tbatch
+	cfg.Core.LogDir = o.LogDir
+	cfg.Core.LogHotTail = o.LogHotTail
 	if o.Suite != nil {
 		cfg.Core.Suite = o.Suite
 	}
 	return cfg
+}
+
+// finishRun durably syncs store-backed logs (so healthy nodes' history is
+// recoverable even when a peer faulted) and then surfaces node faults
+// (signing failures, sticky store-write errors) as run errors — they used
+// to panic, and must not pass silently. On error the stores are closed,
+// since the caller gets no RunResult to close them through.
+func finishRun(net *simnet.Net) error {
+	err := net.SyncLogs()
+	for _, id := range net.Nodes() {
+		if nerr := net.Node(id).Err(); nerr != nil && err == nil {
+			err = fmt.Errorf("eval: node %s faulted during the run: %w", id, nerr)
+		}
+	}
+	if err != nil {
+		_ = net.CloseLogs()
+	}
+	return err
 }
 
 // Run executes one configuration and returns its result.
@@ -157,6 +184,9 @@ func runQuagga(o Options) (*RunResult, error) {
 		})
 	}
 	net.Run(dur)
+	if err := finishRun(net); err != nil {
+		return nil, err
+	}
 	return &RunResult{Config: Quagga, Net: net, Factory: bgp.Factory(),
 		Duration: dur, BGP: d}, nil
 }
@@ -176,6 +206,9 @@ func runChord(o Options, n int) (*RunResult, error) {
 		return nil, err
 	}
 	net.Run(p.Duration)
+	if err := finishRun(net); err != nil {
+		return nil, err
+	}
 	return &RunResult{Config: name, Net: net, Factory: chord.Factory(),
 		Duration: p.Duration, Chord: names}, nil
 }
@@ -202,6 +235,9 @@ func runHadoop(o Options, mappers, reducers, bytesPerSplit int) (*RunResult, err
 		return nil, err
 	}
 	net.Run(dur)
+	if err := finishRun(net); err != nil {
+		return nil, err
+	}
 	return &RunResult{Config: name, Net: net, Factory: d.Factory(),
 		Duration: dur, MR: d}, nil
 }
@@ -548,6 +584,8 @@ func Figure9(sizes []int, o Options) ([]Fig9Row, error) {
 		row.LogKBPerMin = float64(s.GrossBytes-s.CkptBytes) / 1024 / (secs / 60) / float64(n)
 		// Chord-Large and Chord-Small share config names; override by size.
 		rows = append(rows, row)
+		// Release store-backed logs before the next size reuses node names.
+		_ = res.Net.CloseLogs()
 	}
 	return rows, nil
 }
@@ -577,6 +615,7 @@ func BatchingAblation(o Options) (without, with BatchRow, err error) {
 		return without, with, err
 	}
 	without = batchRow(res1, 0)
+	_ = res1.Net.CloseLogs()
 	o2 := o
 	o2.Tbatch = 100 * types.Millisecond
 	res2, err := runQuagga(o2)
@@ -584,6 +623,7 @@ func BatchingAblation(o Options) (without, with BatchRow, err error) {
 		return without, with, err
 	}
 	with = batchRow(res2, o2.Tbatch)
+	_ = res2.Net.CloseLogs()
 	return without, with, nil
 }
 

@@ -1,0 +1,59 @@
+package eval
+
+import "testing"
+
+// TestLongRetention runs the store-backed Thist scenario at test scale: the
+// run must spill history to disk, every deterministic metric series must be
+// bit-identical to the in-memory baseline, and the crash-recovered store
+// must serve identical segments and pass a full audit.
+func TestLongRetention(t *testing.T) {
+	rep, err := LongRetention(Quagga, Options{Scale: testScale, LogHotTail: 16}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdEntries == 0 {
+		t.Error("no entries spilled to disk despite the hot-tail cap")
+	}
+	if !rep.Identical {
+		t.Errorf("metric series diverged from the in-memory baseline:\n store: %v / %v\n mem:   %v / %v",
+			rep.Fig5, rep.Fig6, rep.BaselineFig5, rep.BaselineFig6)
+	}
+	if !rep.SegmentIdentical {
+		t.Error("recovered store served different segment bytes than the live log")
+	}
+	if rep.AuditFailures != 0 {
+		t.Errorf("audit of the recovered store found %d failures", rep.AuditFailures)
+	}
+	if rep.RecoveredEntries == 0 {
+		t.Error("recovered log is empty")
+	}
+}
+
+// TestStoreBackedQueriesMatchMemory runs the full Fig8 Quagga query against
+// a store-backed deployment: query answers and downloaded-byte accounting
+// must match the in-memory run exactly.
+func TestStoreBackedQueriesMatchMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: covered by TestLongRetention")
+	}
+	memRes, err := Run(Quagga, Options{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRow, err := QuaggaDisappearQuery(memRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRes, err := Run(Quagga, Options{Scale: testScale, LogDir: t.TempDir(), LogHotTail: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRow, err := QuaggaDisappearQuery(stRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stRow.LogBytes != memRow.LogBytes || stRow.AuthBytes != memRow.AuthBytes ||
+		stRow.CkptBytes != memRow.CkptBytes || stRow.Answer != memRow.Answer || stRow.Red != memRow.Red {
+		t.Errorf("store-backed query diverged:\n store: %v\n mem:   %v", stRow, memRow)
+	}
+}

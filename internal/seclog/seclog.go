@@ -137,13 +137,36 @@ func (e *Entry) marshalContent(w *wire.Writer) {
 }
 
 // MarshalWire implements wire.Marshaler (full entry, for transmission).
+// Note that for ECkpt entries the encoding carries only the checkpoint
+// digests (what the chain commits to and what the wire-size accounting
+// meters); marshalStored is the symmetric form the segment store persists.
 func (e *Entry) MarshalWire(w *wire.Writer) {
 	w.Int(int64(e.T))
 	w.Byte(byte(e.Type))
 	e.marshalContent(w)
 }
 
-// UnmarshalWire implements wire.Unmarshaler.
+// marshalStored encodes the entry for the on-disk segment store: identical
+// to MarshalWire except that checkpoint entries carry their full payload,
+// so a recovered log can re-serve checkpoints (UnmarshalWire reads exactly
+// this form).
+func (e *Entry) marshalStored(w *wire.Writer) {
+	if e.Type == ECkpt {
+		w.Int(int64(e.T))
+		w.Byte(byte(e.Type))
+		e.Ckpt.MarshalWire(w)
+		return
+	}
+	e.MarshalWire(w)
+}
+
+// UnmarshalWire implements wire.Unmarshaler. For ECkpt entries it reads the
+// full-payload (marshalStored) form; it is NOT the inverse of MarshalWire
+// for checkpoint entries, whose transmissible form carries digests only —
+// §5.6's partial retrieval fetches checkpoint payloads separately and
+// verifies them against the digests. A symmetric remote-retrieve encoding
+// is a noted follow-up; every in-process path hands segments around as
+// pointers and is unaffected.
 func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 	e.T = types.Time(r.Int())
 	e.Type = EntryType(r.Byte())
@@ -308,34 +331,58 @@ func (a Authenticator) VerifyCounted(stats *cryptoutil.Stats, pub cryptoutil.Pub
 // ---------------------------------------------------------------------------
 // The log.
 
-// Log is one node's tamper-evident log. It retains all entries in memory
-// (SNooPy's Thist truncation is modeled by Truncate). The zero value is not
-// usable; call New.
+// ckptRef indexes one retained checkpoint entry: its sequence number and
+// wire size. The index spares LastCheckpointBefore and checkpoint-byte
+// accounting from scanning cold, disk-resident history.
+type ckptRef struct {
+	seq  uint64
+	size int64
+}
+
+// Log is one node's tamper-evident log. By default it retains all entries
+// in memory (SNooPy's Thist truncation is modeled by Truncate); a log built
+// with NewStored or Open additionally spills every entry to an append-only
+// segment store on disk and keeps only a configurable hot tail of decoded
+// entries resident. The zero value is not usable; call New, NewStored, or
+// Open.
 type Log struct {
 	node     types.NodeID
 	suite    cryptoutil.Suite
 	key      cryptoutil.PrivateKey
 	stats    *cryptoutil.Stats
-	first    uint64 // sequence number of entries[0] (1-based); >1 after Truncate
-	entries  []*Entry
-	hashes   [][]byte // hashes[i] is h of entries[i]
+	first    uint64   // sequence number of the earliest retained entry (1-based)
+	hashes   [][]byte // hashes[i] is h_{first+i}
 	baseHash []byte   // h_{first-1}
 	// grossBytes accumulates the wire size of all appended entries,
 	// including truncated ones (for log-growth accounting, Figure 6).
 	grossBytes int64
+
+	// entries[hotStart:] holds the resident decoded entries; the entry at
+	// index hotStart+i has sequence number hotFirst+i. Without a store,
+	// hotFirst == first and every retained entry is resident; with a store,
+	// older entries are evicted and decoded from disk on demand.
+	entries  []*Entry
+	hotStart int
+	hotFirst uint64
+
+	store    *Store
+	hotTail  int // max resident entries when store-backed; <=0 keeps all
+	storeErr error
+
+	ckpts []ckptRef // retained checkpoint entries, ascending by seq
 }
 
 // New creates an empty log for node with the given suite and signing key.
 // stats may be nil.
 func New(node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey, stats *cryptoutil.Stats) *Log {
-	return &Log{node: node, suite: suite, key: key, stats: stats, first: 1, baseHash: nil}
+	return &Log{node: node, suite: suite, key: key, stats: stats, first: 1, hotFirst: 1, baseHash: nil}
 }
 
 // Node returns the log owner.
 func (l *Log) Node() types.NodeID { return l.node }
 
 // Len returns the sequence number of the last entry (0 if empty).
-func (l *Log) Len() uint64 { return l.first - 1 + uint64(len(l.entries)) }
+func (l *Log) Len() uint64 { return l.first - 1 + uint64(len(l.hashes)) }
 
 // FirstSeq returns the sequence number of the earliest retained entry.
 func (l *Log) FirstSeq() uint64 { return l.first }
@@ -386,25 +433,114 @@ func chainHash(suite cryptoutil.Suite, stats *cryptoutil.Stats, prev []byte, e *
 	return h
 }
 
-// Append adds an entry and returns its sequence number.
+// Append adds an entry and returns its sequence number. When the log is
+// store-backed, the entry's wire encoding is also written to the data file;
+// a write failure is sticky and reported by Err (the in-memory chain stays
+// authoritative for the running node).
 func (l *Log) Append(e *Entry) uint64 {
 	h := chainHash(l.suite, l.stats, l.HeadHash(), e)
+	var size int64
+	if l.store != nil && l.storeErr == nil {
+		w := wire.GetWriter()
+		e.marshalStored(w)
+		size = int64(w.Len())
+		if err := l.store.append(w.Bytes()); err != nil {
+			// The store is dead from here on: stop writing (a gap would
+			// desynchronize the seq→offset index) and stop evicting (see
+			// evict), so the log keeps serving correctly from memory.
+			l.storeErr = err
+		}
+		wire.PutWriter(w)
+		if e.Type == ECkpt {
+			// Accounting meters the transmissible (digest) form, which is
+			// what an in-memory log meters too; the store record is larger
+			// because it persists the full checkpoint payload.
+			size = int64(e.WireSize())
+		}
+	} else {
+		size = int64(e.WireSize())
+	}
 	l.entries = append(l.entries, e)
 	l.hashes = append(l.hashes, h)
-	l.grossBytes += int64(e.WireSize())
-	return l.Len()
-}
-
-// HashAt returns h_k. It panics for truncated or out-of-range entries.
-func (l *Log) HashAt(seq uint64) []byte {
-	if seq == l.first-1 {
-		return l.baseHash
+	l.grossBytes += size
+	seq := l.Len()
+	if e.Type == ECkpt {
+		l.ckpts = append(l.ckpts, ckptRef{seq: seq, size: size})
 	}
-	return l.hashes[seq-l.first]
+	l.evict()
+	return seq
 }
 
-// EntryAt returns entry seq (1-based).
-func (l *Log) EntryAt(seq uint64) *Entry { return l.entries[seq-l.first] }
+// evict trims the resident window to the hot tail, releasing decoded
+// entries whose bytes live in the store. Compaction is amortized so steady
+// appends stay O(1).
+func (l *Log) evict() {
+	// A sticky store error freezes eviction: entries whose bytes never
+	// reached disk (or that a broken store could no longer serve) must stay
+	// resident, so the log degrades to in-memory operation instead of
+	// silently serving misaligned records.
+	if l.store == nil || l.hotTail <= 0 || l.storeErr != nil {
+		return
+	}
+	for len(l.entries)-l.hotStart > l.hotTail {
+		l.entries[l.hotStart] = nil
+		l.hotStart++
+		l.hotFirst++
+	}
+	if l.hotStart > l.hotTail {
+		l.entries = append([]*Entry(nil), l.entries[l.hotStart:]...)
+		l.hotStart = 0
+	}
+}
+
+// Hash returns h_k, or an error when seq is truncated or out of range.
+// seq == FirstSeq()-1 yields the base hash.
+func (l *Log) Hash(seq uint64) ([]byte, error) {
+	if seq+1 == l.first {
+		return l.baseHash, nil
+	}
+	if seq < l.first || seq > l.Len() {
+		return nil, fmt.Errorf("seclog: no hash for entry %d (retained %d..%d)", seq, l.first, l.Len())
+	}
+	return l.hashes[seq-l.first], nil
+}
+
+// Entry returns entry seq (1-based), or an error when seq is truncated or
+// out of range. Cold entries of a store-backed log are decoded from disk.
+func (l *Log) Entry(seq uint64) (*Entry, error) {
+	if seq < l.first || seq > l.Len() {
+		return nil, fmt.Errorf("seclog: no entry %d (retained %d..%d)", seq, l.first, l.Len())
+	}
+	if seq >= l.hotFirst {
+		return l.entries[l.hotStart+int(seq-l.hotFirst)], nil
+	}
+	e, err := l.store.entry(seq)
+	if err != nil && l.storeErr == nil {
+		l.storeErr = err
+	}
+	return e, err
+}
+
+// HashAt returns h_k. It panics for truncated or out-of-range entries; use
+// Hash on any path that consumes peer-influenced sequence numbers.
+func (l *Log) HashAt(seq uint64) []byte {
+	h, err := l.Hash(seq)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// EntryAt returns entry seq (1-based). It panics for truncated or
+// out-of-range entries (or on a store read failure); use Entry on any path
+// that consumes peer-influenced sequence numbers.
+func (l *Log) EntryAt(seq uint64) *Entry {
+	e, err := l.Entry(seq)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
 
 // Authenticator signs the current head (or, with seq, an earlier retained
 // position).
@@ -414,11 +550,14 @@ func (l *Log) Authenticator() (Authenticator, error) {
 
 // AuthenticatorAt signs position seq.
 func (l *Log) AuthenticatorAt(seq uint64) (Authenticator, error) {
-	if seq < l.first || seq > l.Len() {
-		return Authenticator{}, fmt.Errorf("seclog: no entry %d (have %d..%d)", seq, l.first, l.Len())
+	e, err := l.Entry(seq)
+	if err != nil {
+		return Authenticator{}, err
 	}
-	e := l.EntryAt(seq)
-	h := l.HashAt(seq)
+	h, err := l.Hash(seq)
+	if err != nil {
+		return Authenticator{}, err
+	}
 	w := signedMaterialW(e.T, h)
 	sig, err := l.key.Sign(w.Bytes())
 	wire.PutWriter(w)
@@ -448,14 +587,25 @@ func (l *Log) Segment(from, to uint64) (*SegmentData, error) {
 	if to > l.Len() || from > to+1 {
 		return nil, fmt.Errorf("seclog: bad segment [%d..%d] of %d", from, to, l.Len())
 	}
-	seg := &SegmentData{Node: l.node, From: from, BaseHash: l.HashAt(from - 1)}
+	base, err := l.Hash(from - 1)
+	if err != nil {
+		return nil, err
+	}
+	seg := &SegmentData{Node: l.node, From: from, BaseHash: base}
 	for s := from; s <= to; s++ {
-		seg.Entries = append(seg.Entries, l.EntryAt(s))
+		e, err := l.Entry(s)
+		if err != nil {
+			return nil, err
+		}
+		seg.Entries = append(seg.Entries, e)
 	}
 	return seg, nil
 }
 
-// Truncate drops entries before seq (Thist retention, §5.6).
+// Truncate drops entries before seq (Thist retention, §5.6). On a
+// store-backed log the new retention boundary is persisted in the sidecar;
+// the data file keeps the truncated records (the chain replayed during
+// recovery still needs them) but they are no longer served.
 func (l *Log) Truncate(seq uint64) {
 	if seq <= l.first {
 		return
@@ -463,11 +613,33 @@ func (l *Log) Truncate(seq uint64) {
 	if seq > l.Len()+1 {
 		seq = l.Len() + 1
 	}
-	drop := seq - l.first
 	l.baseHash = l.HashAt(seq - 1)
-	l.entries = append([]*Entry(nil), l.entries[drop:]...)
-	l.hashes = append([][]byte(nil), l.hashes[drop:]...)
+	l.hashes = append([][]byte(nil), l.hashes[seq-l.first:]...)
+	if seq > l.hotFirst {
+		drop := int(seq - l.hotFirst)
+		if drop > len(l.entries)-l.hotStart {
+			drop = len(l.entries) - l.hotStart
+		}
+		l.entries = append([]*Entry(nil), l.entries[l.hotStart+drop:]...)
+		l.hotStart = 0
+		l.hotFirst = seq
+	}
 	l.first = seq
+	l.pruneCkpts()
+	if l.store != nil {
+		if err := l.store.truncate(seq); err != nil && l.storeErr == nil {
+			l.storeErr = err
+		}
+	}
+}
+
+// pruneCkpts drops checkpoint index records that precede retained history.
+func (l *Log) pruneCkpts() {
+	i := 0
+	for i < len(l.ckpts) && l.ckpts[i].seq < l.first {
+		i++
+	}
+	l.ckpts = l.ckpts[i:]
 }
 
 // LastCheckpointBefore returns the sequence of the latest ECkpt entry with
@@ -476,12 +648,67 @@ func (l *Log) LastCheckpointBefore(bound uint64) uint64 {
 	if bound > l.Len() {
 		bound = l.Len()
 	}
-	for s := bound; s >= l.first; s-- {
-		if l.EntryAt(s).Type == ECkpt {
-			return s
+	for i := len(l.ckpts) - 1; i >= 0; i-- {
+		if l.ckpts[i].seq <= bound {
+			return l.ckpts[i].seq
 		}
 	}
 	return 0
+}
+
+// CheckpointBytes returns the total wire size of the retained checkpoint
+// entries (the Figure 6 checkpoint series), without touching cold history.
+func (l *Log) CheckpointBytes() int64 {
+	var sum int64
+	for _, c := range l.ckpts {
+		sum += c.size
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// Store-backed operation.
+
+// StoreBacked reports whether the log spills entries to a segment store.
+func (l *Log) StoreBacked() bool { return l.store != nil }
+
+// ColdEntries returns how many retained entries are resident only on disk.
+func (l *Log) ColdEntries() uint64 {
+	if l.hotFirst <= l.first {
+		return 0
+	}
+	return l.hotFirst - l.first
+}
+
+// Err returns the first store error encountered (nil for in-memory logs and
+// healthy stores). A log with a sticky store error keeps serving from
+// memory, but its on-disk history can no longer be trusted for recovery.
+func (l *Log) Err() error { return l.storeErr }
+
+// Sync flushes the segment store and durably records the current head in
+// the sidecar, so a subsequent Open can tell tampering from a crash up to
+// this point. It is a no-op for in-memory logs.
+func (l *Log) Sync() error {
+	if l.store == nil {
+		return nil
+	}
+	if l.storeErr != nil {
+		return l.storeErr
+	}
+	return l.store.sync(l.first, l.Len(), l.HeadHash())
+}
+
+// Close syncs and releases the segment store. The log must not be used
+// afterwards. It is a no-op for in-memory logs.
+func (l *Log) Close() error {
+	if l.store == nil {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.store.close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -541,6 +768,12 @@ var ErrChainMismatch = errors.New("seclog: hash chain does not match authenticat
 // into the segment range). On success it returns the hash of every entry.
 func (s *SegmentData) VerifyAgainst(suite cryptoutil.Suite, stats *cryptoutil.Stats,
 	pub cryptoutil.PublicKey, auth Authenticator) ([][]byte, error) {
+	// Sequence numbers are 1-based; an empty segment or a zero From would
+	// make the range arithmetic below wrap, so reject them before indexing
+	// anything with a peer-supplied sequence number.
+	if len(s.Entries) == 0 || s.From == 0 {
+		return nil, fmt.Errorf("seclog: empty or malformed segment from %s", s.Node)
+	}
 	if auth.Node != s.Node {
 		return nil, fmt.Errorf("seclog: authenticator is from %s, segment from %s", auth.Node, s.Node)
 	}

@@ -1,0 +1,388 @@
+// Segment store: a durable, append-only, file-backed home for a node's
+// tamper-evident log (the Thist retention substrate of §5.6). The store
+// holds the wire encoding of every entry ever appended; the Log keeps only a
+// configurable hot tail of decoded entries resident and re-reads cold
+// history from the file on demand, so long retention windows no longer grow
+// the heap.
+//
+// On-disk layout (one data file plus a small sidecar per node):
+//
+//	<dir>/<node>.seglog   header ‖ record*      (append-only)
+//	<dir>/<node>.segmeta  logical-first + last synced head (rewritten atomically)
+//
+// The data file header commits to the node ID, the sequence number of the
+// first record, and the hash-chain value preceding it; each record is a
+// uvarint length followed by the entry's canonical wire encoding — exactly
+// the bytes the chain hash covers, so recovery can re-verify the chain
+// without trusting anything but the header.
+//
+// Crash recovery (Open) replays the file: records are decoded one by one,
+// the hash chain is recomputed from the persisted base hash, and a torn or
+// garbled tail — the signature of a crash mid-append — is truncated away at
+// the last intact record. If the sidecar records a previously synced head,
+// the recovered chain must still pass through it; a mismatch is evidence of
+// tampering with the file, not of a crash, and Open refuses the store.
+package seclog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// File-format magics. The trailing newline keeps accidental text files from
+// matching.
+var (
+	storeMagic = []byte("SNPSEG1\n")
+	metaMagic  = []byte("SNPMET1\n")
+)
+
+// Store is the file layer under a store-backed Log: an append-only record
+// file plus an in-memory seq→offset index. It is not safe for concurrent
+// use; the owning Log serializes access (nodes are single-threaded by
+// contract).
+type Store struct {
+	path     string
+	metaPath string
+	f        *os.File
+
+	node     types.NodeID
+	base     uint64 // sequence number of the first record in the file
+	baseHash []byte // chain hash h_{base-1}
+	offsets  []int64
+	size     int64
+
+	// syncedHead/syncedHash mirror the sidecar: the last head position that
+	// was durably recorded. Truncation rewrites the sidecar's logical first
+	// without asserting a newer head than was actually synced.
+	syncedHead uint64
+	syncedHash []byte
+}
+
+// storeFileName maps a node ID to a safe file name (node IDs may contain
+// path separators in principle; escape keeps one flat file per node).
+func storeFileName(node types.NodeID) string { return url.PathEscape(string(node)) + ".seglog" }
+func metaFileName(node types.NodeID) string  { return url.PathEscape(string(node)) + ".segmeta" }
+
+// createStore creates (or truncates) the segment store for node under dir
+// and writes the header. base is the sequence number the first appended
+// record will get; baseHash is the chain value preceding it.
+func createStore(dir string, node types.NodeID, base uint64, baseHash []byte) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("seclog: store dir: %w", err)
+	}
+	path := filepath.Join(dir, storeFileName(node))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("seclog: create store: %w", err)
+	}
+	s := &Store{
+		path:     path,
+		metaPath: filepath.Join(dir, metaFileName(node)),
+		f:        f,
+		node:     node,
+		base:     base,
+		baseHash: append([]byte(nil), baseHash...),
+	}
+	w := wire.NewWriter(64)
+	w.Raw(storeMagic)
+	w.String(string(node))
+	w.Uint(base)
+	w.BytesField(baseHash)
+	if _, err := f.Write(w.Bytes()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seclog: store header: %w", err)
+	}
+	s.size = int64(w.Len())
+	// Remove any stale sidecar from an earlier incarnation of this node.
+	if err := os.Remove(s.metaPath); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		return nil, fmt.Errorf("seclog: store meta: %w", err)
+	}
+	return s, nil
+}
+
+// append writes one record (the entry's wire encoding) and indexes it.
+func (s *Store) append(rec []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(rec)))
+	off := s.size
+	if _, err := s.f.WriteAt(hdr[:n], off); err != nil {
+		return fmt.Errorf("seclog: store append: %w", err)
+	}
+	if _, err := s.f.WriteAt(rec, off+int64(n)); err != nil {
+		return fmt.Errorf("seclog: store append: %w", err)
+	}
+	s.offsets = append(s.offsets, off)
+	s.size = off + int64(n) + int64(len(rec))
+	return nil
+}
+
+// head returns the sequence number of the last record (base-1 when empty).
+func (s *Store) head() uint64 { return s.base - 1 + uint64(len(s.offsets)) }
+
+// entry reads and decodes record seq from the file.
+func (s *Store) entry(seq uint64) (*Entry, error) {
+	if seq < s.base || seq > s.head() {
+		return nil, fmt.Errorf("seclog: store has no record %d (have %d..%d)", seq, s.base, s.head())
+	}
+	i := seq - s.base
+	start := s.offsets[i]
+	end := s.size
+	if i+1 < uint64(len(s.offsets)) {
+		end = s.offsets[i+1]
+	}
+	buf := make([]byte, end-start)
+	if _, err := s.f.ReadAt(buf, start); err != nil {
+		return nil, fmt.Errorf("seclog: store read %d: %w", seq, err)
+	}
+	n, ln := binary.Uvarint(buf)
+	if ln <= 0 || uint64(len(buf)-ln) != n {
+		return nil, fmt.Errorf("seclog: store record %d has a corrupt length", seq)
+	}
+	e := new(Entry)
+	if err := wire.Decode(buf[ln:], e); err != nil {
+		return nil, fmt.Errorf("seclog: store record %d: %w", seq, err)
+	}
+	return e, nil
+}
+
+// writeMeta atomically rewrites the sidecar: the logical first sequence
+// (Thist truncation) and the last synced head position with its chain hash.
+func (s *Store) writeMeta(first, headSeq uint64, headHash []byte) error {
+	w := wire.NewWriter(64)
+	w.Raw(metaMagic)
+	w.Uint(first)
+	w.Uint(headSeq)
+	w.BytesField(headHash)
+	tmp := s.metaPath + ".tmp"
+	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("seclog: store meta: %w", err)
+	}
+	if err := os.Rename(tmp, s.metaPath); err != nil {
+		return fmt.Errorf("seclog: store meta: %w", err)
+	}
+	return nil
+}
+
+// readMeta loads the sidecar; ok is false when none exists (a store that was
+// never synced or truncated).
+func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("seclog: store meta: %w", err)
+	}
+	r := wire.NewReader(raw)
+	if !bytes.Equal(r.Raw(len(metaMagic)), metaMagic) {
+		return 0, 0, nil, false, fmt.Errorf("seclog: %s is not a segment-store sidecar", path)
+	}
+	first = r.Uint()
+	headSeq = r.Uint()
+	headHash = r.BytesField()
+	if err := r.Finish(); err != nil {
+		return 0, 0, nil, false, fmt.Errorf("seclog: store meta: %w", err)
+	}
+	return first, headSeq, headHash, true, nil
+}
+
+// sync flushes the data file and records the current head in the sidecar, so
+// a later Open can distinguish tampering from a crash up to this point.
+func (s *Store) sync(first, headSeq uint64, headHash []byte) error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("seclog: store sync: %w", err)
+	}
+	if err := s.writeMeta(first, headSeq, headHash); err != nil {
+		return err
+	}
+	s.syncedHead = headSeq
+	s.syncedHash = append([]byte(nil), headHash...)
+	return nil
+}
+
+// truncate persists a new logical first without claiming a newer synced
+// head than the sidecar already holds.
+func (s *Store) truncate(first uint64) error {
+	return s.writeMeta(first, s.syncedHead, s.syncedHash)
+}
+
+// close releases the file handle.
+func (s *Store) close() error { return s.f.Close() }
+
+// NewStored creates a Log whose entries are spilled to a fresh segment store
+// under dir. hotTail bounds the number of decoded entries kept resident
+// (<=0 keeps everything hot; the store is then pure durability).
+func NewStored(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey,
+	stats *cryptoutil.Stats, hotTail int) (*Log, error) {
+	st, err := createStore(dir, node, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	l := New(node, suite, key, stats)
+	l.store = st
+	l.hotTail = hotTail
+	return l, nil
+}
+
+// Open reopens a store-backed log from dir after a restart or crash. It
+// replays the data file, re-verifying the hash chain against the persisted
+// base hash (and, when the sidecar has a synced head, against that head),
+// truncates a torn tail left by a crash mid-append, and restores the
+// logical first/head state — so the reopened log serves retrieve and audit
+// requests byte-for-byte identically to the log that wrote the file.
+//
+// key may be nil when the reopened log only serves reads (Segment, Entry,
+// Hash); signing operations then fail.
+//
+// Recovery currently buffers the whole data file and decodes every record
+// before trimming to the hot tail — O(file) memory for the duration of
+// Open. Streaming replay (keep only the running hash and the tail) is a
+// noted follow-up for stores that outgrow recovery-time memory.
+func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey,
+	stats *cryptoutil.Stats, hotTail int) (*Log, error) {
+	path := filepath.Join(dir, storeFileName(node))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("seclog: open store: %w", err)
+	}
+	r := wire.NewReader(raw)
+	if !bytes.Equal(r.Raw(len(storeMagic)), storeMagic) {
+		return nil, fmt.Errorf("seclog: %s is not a segment store", path)
+	}
+	if got := types.NodeID(r.String()); got != node {
+		return nil, fmt.Errorf("seclog: store %s belongs to node %s, not %s", path, got, node)
+	}
+	base := r.Uint()
+	baseHash := r.BytesField()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("seclog: store header: %w", err)
+	}
+	if base == 0 {
+		return nil, fmt.Errorf("seclog: store %s has invalid base sequence 0", path)
+	}
+	headerLen := int64(len(raw) - r.Remaining())
+
+	// Replay the records, recomputing the chain. A record that cannot be
+	// fully read or decoded marks the torn tail: everything before it is
+	// intact (the chain vouches for it), everything from it on is discarded.
+	var (
+		entries  []*Entry
+		hashes   [][]byte
+		offsets  []int64
+		ckpts    []ckptRef
+		gross    int64
+		prev     = baseHash
+		goodSize = headerLen
+	)
+	for r.Remaining() > 0 {
+		recLen := r.Uint()
+		if r.Err() != nil || recLen > uint64(r.Remaining()) {
+			break // torn length prefix
+		}
+		rec := r.Raw(int(recLen))
+		e := new(Entry)
+		if err := wire.Decode(rec, e); err != nil {
+			break // torn record
+		}
+		seq := base + uint64(len(entries))
+		offsets = append(offsets, goodSize)
+		prev = chainHash(suite, stats, prev, e)
+		hashes = append(hashes, prev)
+		entries = append(entries, e)
+		// Accounting uses the transmissible (digest-form) size, matching
+		// what the log metered when it appended the entry.
+		size := int64(len(rec))
+		if e.Type == ECkpt {
+			size = int64(e.WireSize())
+		}
+		gross += size
+		if e.Type == ECkpt {
+			ckpts = append(ckpts, ckptRef{seq: seq, size: size})
+		}
+		goodSize = int64(len(raw) - r.Remaining())
+	}
+	head := base - 1 + uint64(len(entries))
+
+	first := base
+	if mFirst, mHead, mHash, ok, err := readMeta(filepath.Join(dir, metaFileName(node))); err != nil {
+		return nil, err
+	} else if ok {
+		// The synced head must lie on the recovered chain: a shorter chain
+		// means data the node had committed to is gone (not a torn-append
+		// crash), and a different hash means the file was rewritten.
+		if mHead > head {
+			return nil, fmt.Errorf("seclog: store %s lost entries %d..%d past the synced head", path, head+1, mHead)
+		}
+		if mHead >= base {
+			if !bytes.Equal(hashes[mHead-base], mHash) {
+				return nil, fmt.Errorf("seclog: store %s: %w at synced head %d", path, ErrChainMismatch, mHead)
+			}
+		} else if mHead == base-1 && !bytes.Equal(baseHash, mHash) {
+			return nil, fmt.Errorf("seclog: store %s: %w at base", path, ErrChainMismatch)
+		}
+		if mFirst > first {
+			first = mFirst
+		}
+	}
+	if first > head+1 {
+		first = head + 1
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("seclog: open store: %w", err)
+	}
+	if goodSize < int64(len(raw)) {
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("seclog: truncate torn tail: %w", err)
+		}
+	}
+	st := &Store{
+		path:     path,
+		metaPath: filepath.Join(dir, metaFileName(node)),
+		f:        f,
+		node:     node,
+		base:     base,
+		baseHash: append([]byte(nil), baseHash...),
+		offsets:  offsets,
+		size:     goodSize,
+	}
+
+	l := New(node, suite, key, stats)
+	l.store = st
+	l.hotTail = hotTail
+	l.first = first
+	l.grossBytes = gross
+	l.ckpts = ckpts
+	l.pruneCkpts()
+	if first == base {
+		l.baseHash = append([]byte(nil), baseHash...)
+	} else {
+		l.baseHash = hashes[first-1-base]
+	}
+	l.hashes = hashes[first-base:]
+	// Keep only the hot tail resident; cold history stays on disk.
+	l.hotFirst = first
+	resident := entries[first-base:]
+	if hotTail > 0 && len(resident) > hotTail {
+		l.hotFirst = head - uint64(hotTail) + 1
+		resident = resident[len(resident)-hotTail:]
+	}
+	l.entries = append([]*Entry(nil), resident...)
+	// Record the recovered state as the new synced head.
+	if err := st.sync(l.first, head, l.HeadHash()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}

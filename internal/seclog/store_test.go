@@ -1,0 +1,328 @@
+package seclog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// newStoredTestLog creates a store-backed log in a fresh temp dir.
+func newStoredTestLog(t *testing.T, hotTail int) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := NewStored(dir, "n1", testSuite, testKey(t, 1), nil, hotTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dir
+}
+
+// fillBoth appends the same n entries (with a checkpoint at every ckptAt-th
+// position) to both logs.
+func fillBoth(a, b *Log, n int, ckptAt int) {
+	for i := 1; i <= n; i++ {
+		var e *Entry
+		if ckptAt > 0 && i%ckptAt == 0 {
+			e = &Entry{T: types.Time(i), Type: ECkpt,
+				Ckpt: BuildCheckpoint(testSuite, nil, []byte("state"), nil)}
+		} else if i%3 == 0 {
+			e = sndEntry(types.Time(i), uint64(i))
+		} else {
+			e = insEntry(types.Time(i), "a", int64(i))
+		}
+		if a != nil {
+			a.Append(e)
+		}
+		if b != nil {
+			b.Append(e)
+		}
+	}
+}
+
+func TestStoreBackedMatchesMemory(t *testing.T) {
+	mem := newTestLog(t)
+	st, _ := newStoredTestLog(t, 4)
+	fillBoth(mem, st, 25, 7)
+
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != mem.Len() || st.FirstSeq() != mem.FirstSeq() {
+		t.Fatalf("shape mismatch: store %d..%d, mem %d..%d", st.FirstSeq(), st.Len(), mem.FirstSeq(), mem.Len())
+	}
+	if !bytes.Equal(st.HeadHash(), mem.HeadHash()) {
+		t.Error("head hashes differ")
+	}
+	if st.GrossBytes() != mem.GrossBytes() {
+		t.Errorf("GrossBytes: store %d, mem %d", st.GrossBytes(), mem.GrossBytes())
+	}
+	if st.CheckpointBytes() != mem.CheckpointBytes() {
+		t.Errorf("CheckpointBytes: store %d, mem %d", st.CheckpointBytes(), mem.CheckpointBytes())
+	}
+	if st.ColdEntries() == 0 {
+		t.Error("hot tail of 4 should have evicted entries to disk")
+	}
+	// Every entry — hot and cold — must decode to identical bytes.
+	for seq := uint64(1); seq <= st.Len(); seq++ {
+		se, err := st.Entry(seq)
+		if err != nil {
+			t.Fatalf("Entry(%d): %v", seq, err)
+		}
+		me, _ := mem.Entry(seq)
+		if !bytes.Equal(wire.Encode(se), wire.Encode(me)) {
+			t.Fatalf("entry %d differs between store and memory", seq)
+		}
+		sh, _ := st.Hash(seq)
+		mh, _ := mem.Hash(seq)
+		if !bytes.Equal(sh, mh) {
+			t.Fatalf("hash %d differs", seq)
+		}
+	}
+	// Segments (which straddle the hot/cold boundary) are byte-identical.
+	sSeg, err := st.Segment(1, st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSeg, _ := mem.Segment(1, mem.Len())
+	if !bytes.Equal(wire.Encode(sSeg), wire.Encode(mSeg)) {
+		t.Error("full segments differ byte-for-byte")
+	}
+	if st.LastCheckpointBefore(25) != mem.LastCheckpointBefore(25) {
+		t.Error("LastCheckpointBefore differs")
+	}
+}
+
+func TestStoreCrashRecovery(t *testing.T) {
+	live, dir := newStoredTestLog(t, 4)
+	fillBoth(nil, live, 30, 10)
+	auth, err := live.Authenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSeg, err := live.Segment(1, live.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without Close/Sync: a crash. Recovery must replay the file,
+	// re-verify the chain, and serve identical bytes.
+	rec, err := Open(dir, "n1", testSuite, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != live.Len() || rec.FirstSeq() != live.FirstSeq() {
+		t.Fatalf("recovered %d..%d, want %d..%d", rec.FirstSeq(), rec.Len(), live.FirstSeq(), live.Len())
+	}
+	if !bytes.Equal(rec.HeadHash(), live.HeadHash()) {
+		t.Error("recovered head hash differs")
+	}
+	if rec.GrossBytes() != live.GrossBytes() {
+		t.Errorf("recovered GrossBytes %d, want %d", rec.GrossBytes(), live.GrossBytes())
+	}
+	if rec.CheckpointBytes() != live.CheckpointBytes() {
+		t.Errorf("recovered CheckpointBytes %d, want %d", rec.CheckpointBytes(), live.CheckpointBytes())
+	}
+	recSeg, err := rec.Segment(1, rec.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.Encode(recSeg), wire.Encode(liveSeg)) {
+		t.Error("recovered segment differs from the live log's")
+	}
+	// The live node's own authenticator still verifies the recovered chain.
+	if _, err := recSeg.VerifyAgainst(testSuite, nil, live.key.Public(), auth); err != nil {
+		t.Errorf("recovered segment rejected by live authenticator: %v", err)
+	}
+}
+
+func TestStoreRecoveryAfterTruncate(t *testing.T) {
+	live, dir := newStoredTestLog(t, 0)
+	fillBoth(nil, live, 20, 6)
+	live.Truncate(9)
+	if err := live.Err(); err != nil {
+		t.Fatal(err)
+	}
+	liveSeg, err := live.Segment(9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, "n1", testSuite, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.FirstSeq() != 9 || rec.Len() != 20 {
+		t.Fatalf("recovered %d..%d, want 9..20", rec.FirstSeq(), rec.Len())
+	}
+	if _, err := rec.Segment(1, 20); err == nil {
+		t.Error("recovered log served truncated history")
+	}
+	recSeg, err := rec.Segment(9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.Encode(recSeg), wire.Encode(liveSeg)) {
+		t.Error("post-truncate recovered segment differs")
+	}
+	if got := rec.LastCheckpointBefore(20); got != live.LastCheckpointBefore(20) {
+		t.Errorf("recovered LastCheckpointBefore = %d, want %d", got, live.LastCheckpointBefore(20))
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	live, dir := newStoredTestLog(t, 0)
+	fillBoth(nil, live, 10, 0)
+	hash5 := live.HashAt(5)
+
+	// Simulate a crash mid-append: chop bytes off the end of the data file.
+	path := filepath.Join(dir, storeFileName("n1"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, "n1", testSuite, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 9 {
+		t.Fatalf("recovered %d entries, want 9 (torn 10th dropped)", rec.Len())
+	}
+	if !bytes.Equal(rec.HashAt(5), hash5) {
+		t.Error("recovered chain prefix diverges")
+	}
+}
+
+func TestStoreTamperDetected(t *testing.T) {
+	live, dir := newStoredTestLog(t, 0)
+	fillBoth(nil, live, 10, 0)
+	if err := live.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside an early record: the synced head no longer lies
+	// on the replayed chain, which is evidence of tampering, not a crash.
+	path := filepath.Join(dir, storeFileName("n1"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "n1", testSuite, nil, nil, 0); err == nil {
+		t.Fatal("tampered store accepted")
+	}
+}
+
+func TestCheckedAccessors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(t *testing.T) *Log
+	}{
+		{"memory", func(t *testing.T) *Log { return newTestLog(t) }},
+		{"store", func(t *testing.T) *Log { l, _ := newStoredTestLog(t, 2); return l }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk(t)
+			fillBoth(nil, l, 10, 0)
+			l.Truncate(4)
+			for _, seq := range []uint64{0, 1, 2, 11, 1 << 60} {
+				if _, err := l.Entry(seq); err == nil {
+					t.Errorf("Entry(%d) after Truncate(4): no error", seq)
+				}
+				if _, err := l.Hash(seq); err == nil && seq != 3 {
+					t.Errorf("Hash(%d) after Truncate(4): no error", seq)
+				}
+			}
+			// The base position is servable as a hash (h_{first-1}).
+			if _, err := l.Hash(3); err != nil {
+				t.Errorf("Hash(first-1): %v", err)
+			}
+			if _, err := l.Entry(5); err != nil {
+				t.Errorf("Entry(5) retained: %v", err)
+			}
+			if _, err := l.AuthenticatorAt(2); err == nil {
+				t.Error("AuthenticatorAt on truncated seq: no error")
+			}
+			if _, err := l.AuthenticatorAt(99); err == nil {
+				t.Error("AuthenticatorAt out of range: no error")
+			}
+		})
+	}
+}
+
+// TestTruncateSegmentCheckpointInterplay covers the retention × retrieval ×
+// checkpoint interplay: segment requests straddling truncated history fail
+// cleanly, checkpoint lookup respects the retention boundary, and the chain
+// keeps verifying across both.
+func TestTruncateSegmentCheckpointInterplay(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(t *testing.T) *Log
+	}{
+		{"memory", func(t *testing.T) *Log { return newTestLog(t) }},
+		{"store", func(t *testing.T) *Log { l, _ := newStoredTestLog(t, 3); return l }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk(t)
+			fillBoth(nil, l, 24, 8) // checkpoints at 8, 16, 24
+			l.Truncate(10)
+
+			// Straddling requests fail cleanly instead of panicking.
+			for _, r := range [][2]uint64{{1, 24}, {9, 12}, {1, 5}} {
+				if _, err := l.Segment(r[0], r[1]); err == nil {
+					t.Errorf("Segment(%d,%d) across truncation: no error", r[0], r[1])
+				}
+			}
+			// The checkpoint at 8 is gone; queries fall back to the one at 16.
+			if got := l.LastCheckpointBefore(15); got != 0 {
+				t.Errorf("LastCheckpointBefore(15) = %d, want 0 (ckpt 8 truncated)", got)
+			}
+			if got := l.LastCheckpointBefore(23); got != 16 {
+				t.Errorf("LastCheckpointBefore(23) = %d, want 16", got)
+			}
+			// Retained segments still verify against a fresh authenticator.
+			seg, err := l.Segment(10, 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auth, err := l.Authenticator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seg.VerifyAgainst(testSuite, nil, l.key.Public(), auth); err != nil {
+				t.Errorf("post-truncate segment rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyAgainstMalformedSegments(t *testing.T) {
+	l := newTestLog(t)
+	fillBoth(nil, l, 3, 0)
+	auth, _ := l.Authenticator()
+	pub := l.key.Public()
+
+	empty := &SegmentData{Node: "n1", From: 1}
+	if _, err := empty.VerifyAgainst(testSuite, nil, pub, auth); err == nil {
+		t.Error("empty segment accepted")
+	}
+	seg, _ := l.Segment(1, 3)
+	zero := *seg
+	zero.From = 0
+	if _, err := zero.VerifyAgainst(testSuite, nil, pub, auth); err == nil {
+		t.Error("segment with From=0 accepted")
+	}
+}

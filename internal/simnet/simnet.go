@@ -160,7 +160,10 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 		}
 		return t
 	})
-	node := core.NewNode(id, n.Cfg.Core, key, n.Dir, n.Maintainer, clock, n, machine)
+	node, err := core.NewNode(id, n.Cfg.Core, key, n.Dir, n.Maintainer, clock, n, machine)
+	if err != nil {
+		return nil, err
+	}
 	n.nodes[id] = node
 	if i, found := slices.BinarySearch(n.order, id); !found {
 		n.order = slices.Insert(n.order, i, id)
@@ -255,7 +258,9 @@ func (n *Net) Run(until types.Time) {
 	if n.Cfg.TickEvery > 0 {
 		for _, id := range n.Nodes() {
 			node := n.nodes[id]
-			n.Periodic(n.now+n.Cfg.TickEvery, n.Cfg.TickEvery, until, node.Tick)
+			// Tick errors are local faults (e.g. a signing failure); the
+			// node keeps running and audits expose it (Node.Err holds it).
+			n.Periodic(n.now+n.Cfg.TickEvery, n.Cfg.TickEvery, until, func() { _ = node.Tick() })
 		}
 	}
 	for n.queue.Len() > 0 {
@@ -316,7 +321,8 @@ type LogStats struct {
 	Entries    uint64
 }
 
-// LogStats sums log sizes across nodes.
+// LogStats sums log sizes across nodes. Checkpoint bytes come from the
+// logs' checkpoint index, so store-backed logs are not paged in from disk.
 func (n *Net) LogStats() LogStats {
 	var s LogStats
 	for _, id := range n.Nodes() {
@@ -324,13 +330,32 @@ func (n *Net) LogStats() LogStats {
 		s.Nodes++
 		s.GrossBytes += node.Log.GrossBytes()
 		s.Entries += node.Log.Len()
-		for seq := node.Log.FirstSeq(); seq <= node.Log.Len(); seq++ {
-			if e := node.Log.EntryAt(seq); e.Type == seclog.ECkpt {
-				s.CkptBytes += int64(e.WireSize())
-			}
-		}
+		s.CkptBytes += node.Log.CheckpointBytes()
 	}
 	return s
+}
+
+// SyncLogs durably syncs every store-backed log (no-op for in-memory logs).
+func (n *Net) SyncLogs() error {
+	var err error
+	for _, id := range n.Nodes() {
+		if err2 := n.nodes[id].Log.Sync(); err == nil {
+			err = err2
+		}
+	}
+	return err
+}
+
+// CloseLogs syncs and closes every store-backed log. The network must not
+// be run afterwards.
+func (n *Net) CloseLogs() error {
+	var err error
+	for _, id := range n.Nodes() {
+		if err2 := n.nodes[id].Log.Close(); err == nil {
+			err = err2
+		}
+	}
+	return err
 }
 
 // CryptoStats sums per-node crypto operation counts (Figure 7).

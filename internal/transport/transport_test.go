@@ -34,8 +34,11 @@ func TestMinCostOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		dir.Register(id, key.Public())
-		node := core.NewNode(id, cfg, key, dir, maint, WallClock{}, cluster,
+		node, err := core.NewNode(id, cfg, key, dir, maint, WallClock{}, cluster,
 			dlog.NewMachine(prog, id))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := cluster.Serve(node, "127.0.0.1:0"); err != nil {
 			t.Fatal(err)
 		}
