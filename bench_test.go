@@ -41,6 +41,29 @@ func benchFig5(b *testing.B, name eval.ConfigName) {
 }
 
 func BenchmarkFig5Quagga(b *testing.B)      { benchFig5(b, eval.Quagga) }
+
+// BenchmarkFig5QuaggaParallel is the same run through the sharded simulation
+// driver (4 workers, pinned so the parallel path runs even when GOMAXPROCS
+// is 1). Its reported metric series is bit-identical to
+// BenchmarkFig5Quagga's — the equivalence tests pin that — so the two
+// ns/op values isolate the scheduler's wall-clock effect.
+func BenchmarkFig5QuaggaParallel(b *testing.B) {
+	b.ReportAllocs()
+	var res *eval.RunResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = eval.Run(eval.Quagga, eval.Options{Scale: benchScale, SimWorkers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	row := eval.Figure5(res)
+	b.ReportMetric(row.Factor, "traffic-factor")
+	b.ReportMetric(float64(row.BaselineBytes), "baseline-bytes")
+	b.ReportMetric(float64(row.AuthBytes), "auth-bytes")
+	b.ReportMetric(float64(row.AckBytes), "ack-bytes")
+	b.ReportMetric(float64(row.Messages), "messages")
+}
 func BenchmarkFig5ChordSmall(b *testing.B)  { benchFig5(b, eval.ChordSmall) }
 func BenchmarkFig5ChordLarge(b *testing.B)  { benchFig5(b, eval.ChordLarge) }
 func BenchmarkFig5HadoopSmall(b *testing.B) { benchFig5(b, eval.HadoopSmall) }

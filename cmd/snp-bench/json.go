@@ -80,8 +80,27 @@ func writeJSONResults(path, baselinePath string, iters int, o eval.Options) erro
 	}
 	var results []BenchResult
 
+	fig5Metrics := func(f5 eval.Fig5Row) map[string]float64 {
+		return map[string]float64{
+			"traffic-factor": f5.Factor,
+			"baseline-bytes": float64(f5.BaselineBytes),
+			"auth-bytes":     float64(f5.AuthBytes),
+			"ack-bytes":      float64(f5.AckBytes),
+			"messages":       float64(f5.Messages),
+		}
+	}
+	fig6Metrics := func(f6 eval.Fig6Row) map[string]float64 {
+		return map[string]float64{
+			"MB/min/node": f6.MBPerMin,
+			"ckpt-bytes":  float64(f6.CkptBytes),
+		}
+	}
+
 	// One run per configuration covers the Fig5 and Fig6 series; the run
 	// itself is what the Fig5/Fig6 go benchmarks time.
+	var serialQuagga5 eval.Fig5Row
+	var serialQuagga6 eval.Fig6Row
+	var serialQuaggaNs int64
 	for _, cfg := range eval.AllConfigs {
 		var res *eval.RunResult
 		d, cold, err := timed(iters, func() (e error) { res, e = eval.Run(cfg, o); return })
@@ -91,22 +110,44 @@ func writeJSONResults(path, baselinePath string, iters int, o eval.Options) erro
 		f5 := eval.Figure5(res)
 		results = append(results, BenchResult{
 			Name: benchName("Fig5", cfg), NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
-			Metrics: map[string]float64{
-				"traffic-factor": f5.Factor,
-				"baseline-bytes": float64(f5.BaselineBytes),
-				"auth-bytes":     float64(f5.AuthBytes),
-				"ack-bytes":      float64(f5.AckBytes),
-				"messages":       float64(f5.Messages),
-			},
+			Metrics: fig5Metrics(f5),
 		})
 		f6 := eval.Figure6(res)
 		results = append(results, BenchResult{
 			Name: benchName("Fig6", cfg), NsPerOp: d.Nanoseconds(), ColdNsPerOp: cold.Nanoseconds(),
-			Metrics: map[string]float64{
-				"MB/min/node": f6.MBPerMin,
-				"ckpt-bytes":  float64(f6.CkptBytes),
-			},
+			Metrics: fig6Metrics(f6),
 		})
+		if cfg == eval.Quagga {
+			serialQuagga5, serialQuagga6, serialQuaggaNs = f5, f6, d.Nanoseconds()
+		}
+	}
+
+	// Sharded-driver variant: the same Quagga run through the parallel
+	// scheduler (4 workers — pinned rather than GOMAXPROCS so the sharded
+	// code path is exercised even on single-core runners; on one core the
+	// ratio is expected to hover around 1.0). The deterministic series MUST
+	// be bit-identical to the serial rows (the scheduler's contract);
+	// driver-speedup is serial ns/op divided by sharded ns/op.
+	{
+		po := o
+		po.SimWorkers = 4
+		var res *eval.RunResult
+		d, cold, err := timed(iters, func() (e error) { res, e = eval.Run(eval.Quagga, po); return })
+		if err != nil {
+			return fmt.Errorf("Quagga (sharded driver): %w", err)
+		}
+		f5, f6 := eval.Figure5(res), eval.Figure6(res)
+		if f5 != serialQuagga5 || f6 != serialQuagga6 {
+			return fmt.Errorf("sharded Quagga run diverged from the serial reference:\nserial: %v / %v\nsharded: %v / %v",
+				serialQuagga5, serialQuagga6, f5, f6)
+		}
+		m5 := fig5Metrics(f5)
+		m5["driver-speedup"] = float64(serialQuaggaNs) / float64(d.Nanoseconds())
+		results = append(results,
+			BenchResult{Name: "BenchmarkFig5QuaggaParallel", NsPerOp: d.Nanoseconds(),
+				ColdNsPerOp: cold.Nanoseconds(), Metrics: m5},
+			BenchResult{Name: "BenchmarkFig6QuaggaParallel", NsPerOp: d.Nanoseconds(),
+				ColdNsPerOp: cold.Nanoseconds(), Metrics: fig6Metrics(f6)})
 	}
 
 	// Store-backed variant: the same Quagga run with every log spilled to a

@@ -28,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario on its own (not part of 'all')")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	simWorkers := flag.Int("sim-workers", 0, "parallel event shards for the simulation driver (0/1 = serial reference, -1 = GOMAXPROCS); every deterministic series is bit-identical across values")
 	logDir := flag.String("logdir", "", "back every node's tamper-evident log with an on-disk segment store under this directory")
 	hotTail := flag.Int("hot-tail", 0, "resident decoded entries per store-backed log (0 = all; requires -logdir)")
 	jsonOut := flag.String("json", "", "write machine-readable results (name → ns/op + metrics) to this file and exit")
@@ -68,13 +69,13 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSONResults(*jsonOut, *baseline, *iters, eval.Options{Scale: eval.Scale(*benchScale), Seed: *seed}); err != nil {
+		if err := writeJSONResults(*jsonOut, *baseline, *iters, eval.Options{Scale: eval.Scale(*benchScale), Seed: *seed, SimWorkers: *simWorkers}); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed, LogDir: *logDir, LogHotTail: *hotTail}
+	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed, LogDir: *logDir, LogHotTail: *hotTail, SimWorkers: *simWorkers}
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 
 	if *fig == "retention" {

@@ -427,7 +427,9 @@ func Deploy(net *simnet.Net, links []ASLink, syncEvery, duration types.Time) (*D
 	for i, n := range names {
 		n := n
 		offset := types.Time(int64(i)) * syncEvery / types.Time(len(names)+1)
-		net.Periodic(offset+syncEvery, syncEvery, duration, func() {
+		// The reconciliation loop touches only n's speaker and node, so it
+		// runs on n's event shard and scales with the parallel scheduler.
+		net.PeriodicNode(n, offset+syncEvery, syncEvery, duration, func() {
 			d.Speakers[n].Sync(net.Node(n))
 		})
 	}

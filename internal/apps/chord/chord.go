@@ -366,7 +366,7 @@ func Deploy(net *simnet.Net, p Params) ([]types.NodeID, error) {
 		if protocolJoiner[name] {
 			joined++
 			joinAt := types.Time(int64(joined)) * p.JoinSpread / types.Time(p.ProtocolJoins+1)
-			net.At(joinAt, func() {
+			net.AtNode(name, joinAt, func() {
 				net.Node(name).InsertBase(nodeTuple)
 				net.Node(name).InsertBase(types.MakeTuple("pred", types.N(name), types.N(name), types.I(id)))
 				net.Node(name).InsertEvent(types.MakeTuple("joinEv", types.N(name), types.N(landmark)))
@@ -379,7 +379,7 @@ func Deploy(net *simnet.Net, p Params) ([]types.NodeID, error) {
 			s, pr = name, name
 		}
 		sid, pid := ids[s], ids[pr]
-		net.At(0, func() {
+		net.AtNode(name, 0, func() {
 			net.Node(name).InsertBase(nodeTuple)
 			net.Node(name).InsertBase(types.MakeTuple("succ", types.N(name), types.N(s), types.I(sid)))
 			net.Node(name).InsertBase(types.MakeTuple("pred", types.N(name), types.N(pr), types.I(pid)))
@@ -389,16 +389,16 @@ func Deploy(net *simnet.Net, p Params) ([]types.NodeID, error) {
 	for i, name := range names {
 		name := name
 		offset := types.Time(int64(i)) * types.Second / types.Time(p.N)
-		net.Periodic(p.JoinSpread+offset, p.StabilizeEvery, p.Duration, func() {
+		net.PeriodicNode(name, p.JoinSpread+offset, p.StabilizeEvery, p.Duration, func() {
 			net.Node(name).InsertEvent(types.MakeTuple("stabEv", types.N(name)))
 		})
-		net.Periodic(p.JoinSpread+offset+time25(p.FingerEvery), p.FingerEvery, p.Duration, func() {
+		net.PeriodicNode(name, p.JoinSpread+offset+time25(p.FingerEvery), p.FingerEvery, p.Duration, func() {
 			n := net.Node(name)
 			for fi := int64(1); fi < Bits; fi += 2 {
 				n.InsertEvent(types.MakeTuple("fixEv", types.N(name), types.I(fi)))
 			}
 		})
-		net.Periodic(p.JoinSpread+offset+time50(p.KeepAliveEvery), p.KeepAliveEvery, p.Duration, func() {
+		net.PeriodicNode(name, p.JoinSpread+offset+time50(p.KeepAliveEvery), p.KeepAliveEvery, p.Duration, func() {
 			net.Node(name).InsertEvent(types.MakeTuple("kaEv", types.N(name)))
 		})
 	}
@@ -410,7 +410,7 @@ func Deploy(net *simnet.Net, p Params) ([]types.NodeID, error) {
 			origin := names[li%len(names)]
 			key := RingID(types.NodeID(fmt.Sprintf("key-%d", li)))
 			at := start + types.Time(int64(li))*(p.Duration/2-types.Second)/types.Time(p.Lookups)
-			net.At(at, func() {
+			net.AtNode(origin, at, func() {
 				net.Node(origin).InsertEvent(types.MakeTuple("lookupEv",
 					types.N(origin), types.I(key), types.I(LookupEIDBase+int64(li))))
 			})

@@ -386,13 +386,13 @@ func Deploy(net *simnet.Net, job Job) (*Deployment, error) {
 	for si, text := range job.Splits {
 		si, text := si, text
 		mapper := d.Mappers[si%len(d.Mappers)]
-		net.At(job.StartAt+types.Time(si)*10*types.Millisecond, func() {
+		net.AtNode(mapper, job.StartAt+types.Time(si)*10*types.Millisecond, func() {
 			net.Node(mapper).InsertBase(Split(mapper, int64(si), text))
 		})
 	}
 	for _, r := range d.Reducers {
 		r := r
-		net.At(job.ReduceAt, func() {
+		net.AtNode(r, job.ReduceAt, func() {
 			net.Node(r).InsertBase(types.MakeTuple("reduceGo", types.N(r)))
 		})
 	}

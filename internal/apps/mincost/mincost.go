@@ -120,10 +120,10 @@ func Deploy(net *simnet.Net, edges []Edge, linkTime types.Time) error {
 	}
 	for _, e := range edges {
 		e := e
-		net.At(linkTime, func() {
+		net.AtNode(e.A, linkTime, func() {
 			net.Node(e.A).InsertBase(Link(e.A, e.B, e.Cost))
 		})
-		net.At(linkTime, func() {
+		net.AtNode(e.B, linkTime, func() {
 			net.Node(e.B).InsertBase(Link(e.B, e.A, e.Cost))
 		})
 	}

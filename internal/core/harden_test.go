@@ -207,6 +207,12 @@ func TestNewNodeStoreBacked(t *testing.T) {
 	if err := n.Err(); err != nil {
 		t.Fatal(err)
 	}
+	// Hand the buffered appends to the OS (no fsync): the simulated crash
+	// below then models a process dying after its writes reached the page
+	// cache, which is what the pre-buffering store gave for free.
+	if err := n.Log.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	reopened, err := seclog.Open(cfg.LogDir, n.ID, cfg.suite(), nil, nil, 2)
 	if err != nil {
 		t.Fatal(err)

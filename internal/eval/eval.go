@@ -97,6 +97,11 @@ type Options struct {
 	// LogHotTail bounds resident decoded log entries per node when LogDir
 	// is set; zero keeps everything hot.
 	LogHotTail int
+	// SimWorkers bounds how many per-node event shards the simulation
+	// driver executes concurrently (simnet.Config.Workers): 0 or 1 is the
+	// serial reference scheduler, negative uses GOMAXPROCS. Every
+	// deterministic metric series is bit-identical across worker counts.
+	SimWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -115,6 +120,7 @@ func (o Options) simCfg() simnet.Config {
 	cfg.Core.Tbatch = o.Tbatch
 	cfg.Core.LogDir = o.LogDir
 	cfg.Core.LogHotTail = o.LogHotTail
+	cfg.Workers = o.SimWorkers
 	if o.Suite != nil {
 		cfg.Core.Suite = o.Suite
 	}
@@ -174,7 +180,7 @@ func runQuagga(o Options) (*RunResult, error) {
 		u := u
 		at := types.Second + types.Time(int64(i))*(dur-5*types.Second)/types.Time(len(trace))
 		stub := stubs[u.Origin]
-		net.At(at, func() {
+		net.AtNode(stub, at, func() {
 			sp := d.Speakers[stub]
 			if u.Withdraw {
 				sp.Withdraw(net.Node(stub), u.Prefix)

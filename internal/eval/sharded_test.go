@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// figDigest runs one configuration under the given simulation worker count
+// and digests every deterministic figure series: the Figure 5 traffic row,
+// the Figure 6 log row, the Figure 7 operation counts (cache hits excluded
+// — they depend on process-wide verification-cache warmth, not on the run),
+// and the deterministic Figure 8 fields of the configuration's query
+// (download byte categories and answer shape; replay/verify wall-clock is
+// timing noise and excluded).
+func figDigest(t *testing.T, name ConfigName, workers int, seed int64) string {
+	t.Helper()
+	res, err := Run(name, Options{Scale: 0.02, Seed: seed, SimWorkers: workers})
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	f5, f6 := Figure5(res), Figure6(res)
+	snap := res.Net.CryptoStats()
+	var fig8 string
+	switch name {
+	case Quagga:
+		row, err := QuaggaDisappearQuery(res)
+		if err != nil {
+			t.Fatalf("%s workers=%d: disappear query: %v", name, workers, err)
+		}
+		fig8 = fmt.Sprintf("log=%d auth=%d ckpt=%d answer=%d red=%d",
+			row.LogBytes, row.AuthBytes, row.CkptBytes, row.Answer, row.Red)
+	case ChordSmall:
+		row, err := ChordLookupQuery(res)
+		if err != nil {
+			t.Fatalf("%s workers=%d: lookup query: %v", name, workers, err)
+		}
+		fig8 = fmt.Sprintf("log=%d auth=%d ckpt=%d answer=%d red=%d",
+			row.LogBytes, row.AuthBytes, row.CkptBytes, row.Answer, row.Red)
+	}
+	return fmt.Sprintf("fig5=%+v\nfig6=%+v\nops=%d/%d/%d/%d\nfig8={%s}\n",
+		f5, f6, snap.Signs, snap.Verifies, snap.Hashes, snap.HashedBytes, fig8)
+}
+
+// TestShardedFiguresMatchSerial is the acceptance check for the parallel
+// simulation driver: sharded runs (SimWorkers > 1) must produce bit-identical
+// Figure 5/6/7 metric series and Figure 8 query answers to the serial
+// reference scheduler, across seeds and worker counts.
+func TestShardedFiguresMatchSerial(t *testing.T) {
+	type cse struct {
+		name  ConfigName
+		seeds []int64
+	}
+	cases := []cse{{Quagga, []int64{1, 42}}, {ChordSmall, []int64{1}}}
+	if testing.Short() {
+		cases = []cse{{Quagga, []int64{1}}}
+	}
+	for _, c := range cases {
+		for _, seed := range c.seeds {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", c.name, seed), func(t *testing.T) {
+				ref := figDigest(t, c.name, 1, seed)
+				for _, workers := range []int{2, 8} {
+					if got := figDigest(t, c.name, workers, seed); got != ref {
+						t.Errorf("workers=%d diverged:\nserial:\n%s\nsharded:\n%s", workers, ref, got)
+					}
+				}
+			})
+		}
+	}
+}

@@ -685,9 +685,31 @@ func (l *Log) ColdEntries() uint64 {
 // memory, but its on-disk history can no longer be trusted for recovery.
 func (l *Log) Err() error { return l.storeErr }
 
-// Sync flushes the segment store and durably records the current head in
-// the sidecar, so a subsequent Open can tell tampering from a crash up to
-// this point. It is a no-op for in-memory logs.
+// Flush hands the store's buffered appends to the operating system (one
+// positioned write for the whole group) without forcing them to stable
+// storage or moving the synced head. After Flush, a process crash loses at
+// most what a machine crash could already lose; use Sync for durability. It
+// is a no-op for in-memory logs.
+func (l *Log) Flush() error {
+	if l.store == nil {
+		return nil
+	}
+	if l.storeErr != nil {
+		return l.storeErr
+	}
+	if err := l.store.flushBuf(); err != nil {
+		// Sticky, like every other store-write failure: the on-disk image
+		// has stopped advancing, and Err must say so.
+		l.storeErr = err
+		return err
+	}
+	return nil
+}
+
+// Sync group-commits the store's buffered appends (one write plus one fsync
+// for the whole group) and durably records the current head in the sidecar,
+// so a subsequent Open can tell tampering from a crash up to this point. It
+// is a no-op for in-memory logs.
 func (l *Log) Sync() error {
 	if l.store == nil {
 		return nil

@@ -44,10 +44,24 @@ var (
 	metaMagic  = []byte("SNPMET1\n")
 )
 
+// storeBufLimit is the append write-buffer threshold: records accumulate in
+// memory and reach the file in one positioned write per storeBufLimit bytes
+// (or earlier, when a cold read or a sync needs them), instead of two
+// syscalls per record.
+const storeBufLimit = 1 << 18
+
 // Store is the file layer under a store-backed Log: an append-only record
 // file plus an in-memory seq→offset index. It is not safe for concurrent
 // use; the owning Log serializes access (nodes are single-threaded by
 // contract).
+//
+// Appends are buffered: records land in buf and are written out in groups
+// (flushBuf) when the buffer fills, when a read needs a still-buffered
+// record, and — followed by one fsync for the whole group — on sync. A
+// process crash can therefore lose up to bufLimit bytes of tail that a
+// pre-buffering store would have handed to the OS; recovery already treats
+// any missing tail past the last synced head as a torn append, so the
+// failure model is unchanged, only the window is wider.
 type Store struct {
 	path     string
 	metaPath string
@@ -57,7 +71,11 @@ type Store struct {
 	base     uint64 // sequence number of the first record in the file
 	baseHash []byte // chain hash h_{base-1}
 	offsets  []int64
-	size     int64
+	size     int64 // logical size: flushed bytes plus len(buf)
+
+	buf      []byte
+	flushed  int64 // bytes actually written to the file (buf starts here)
+	bufLimit int   // flush threshold; 0 flushes after every append
 
 	// syncedHead/syncedHash mirror the sidecar: the last head position that
 	// was durably recorded. Truncation rewrites the sidecar's logical first
@@ -90,6 +108,7 @@ func createStore(dir string, node types.NodeID, base uint64, baseHash []byte) (*
 		node:     node,
 		base:     base,
 		baseHash: append([]byte(nil), baseHash...),
+		bufLimit: storeBufLimit,
 	}
 	w := wire.NewWriter(64)
 	w.Raw(storeMagic)
@@ -101,6 +120,7 @@ func createStore(dir string, node types.NodeID, base uint64, baseHash []byte) (*
 		return nil, fmt.Errorf("seclog: store header: %w", err)
 	}
 	s.size = int64(w.Len())
+	s.flushed = s.size
 	// Remove any stale sidecar from an earlier incarnation of this node.
 	if err := os.Remove(s.metaPath); err != nil && !os.IsNotExist(err) {
 		f.Close()
@@ -109,19 +129,32 @@ func createStore(dir string, node types.NodeID, base uint64, baseHash []byte) (*
 	return s, nil
 }
 
-// append writes one record (the entry's wire encoding) and indexes it.
+// append stages one record (the entry's wire encoding) in the write buffer
+// and indexes it; the bytes reach the file on the next group flush.
 func (s *Store) append(rec []byte) error {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(rec)))
 	off := s.size
-	if _, err := s.f.WriteAt(hdr[:n], off); err != nil {
-		return fmt.Errorf("seclog: store append: %w", err)
-	}
-	if _, err := s.f.WriteAt(rec, off+int64(n)); err != nil {
-		return fmt.Errorf("seclog: store append: %w", err)
-	}
+	s.buf = append(s.buf, hdr[:n]...)
+	s.buf = append(s.buf, rec...)
 	s.offsets = append(s.offsets, off)
 	s.size = off + int64(n) + int64(len(rec))
+	if len(s.buf) >= s.bufLimit {
+		return s.flushBuf()
+	}
+	return nil
+}
+
+// flushBuf writes the buffered records to the file in one positioned write.
+func (s *Store) flushBuf() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if _, err := s.f.WriteAt(s.buf, s.flushed); err != nil {
+		return fmt.Errorf("seclog: store append: %w", err)
+	}
+	s.flushed += int64(len(s.buf))
+	s.buf = s.buf[:0]
 	return nil
 }
 
@@ -138,6 +171,12 @@ func (s *Store) entry(seq uint64) (*Entry, error) {
 	end := s.size
 	if i+1 < uint64(len(s.offsets)) {
 		end = s.offsets[i+1]
+	}
+	if end > s.flushed {
+		// The record (or its tail) is still in the write buffer.
+		if err := s.flushBuf(); err != nil {
+			return nil, err
+		}
 	}
 	buf := make([]byte, end-start)
 	if _, err := s.f.ReadAt(buf, start); err != nil {
@@ -195,9 +234,13 @@ func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err
 	return first, headSeq, headHash, true, nil
 }
 
-// sync flushes the data file and records the current head in the sidecar, so
-// a later Open can distinguish tampering from a crash up to this point.
+// sync group-commits the buffered appends (one write, one fsync for the
+// whole group) and records the current head in the sidecar, so a later Open
+// can distinguish tampering from a crash up to this point.
 func (s *Store) sync(first, headSeq uint64, headHash []byte) error {
+	if err := s.flushBuf(); err != nil {
+		return err
+	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("seclog: store sync: %w", err)
 	}
@@ -215,8 +258,14 @@ func (s *Store) truncate(first uint64) error {
 	return s.writeMeta(first, s.syncedHead, s.syncedHash)
 }
 
-// close releases the file handle.
-func (s *Store) close() error { return s.f.Close() }
+// close flushes buffered appends and releases the file handle.
+func (s *Store) close() error {
+	err := s.flushBuf()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // NewStored creates a Log whose entries are spilled to a fresh segment store
 // under dir. hotTail bounds the number of decoded entries kept resident
@@ -356,6 +405,8 @@ func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.
 		baseHash: append([]byte(nil), baseHash...),
 		offsets:  offsets,
 		size:     goodSize,
+		flushed:  goodSize,
+		bufLimit: storeBufLimit,
 	}
 
 	l := New(node, suite, key, stats)

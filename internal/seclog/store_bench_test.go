@@ -1,0 +1,51 @@
+package seclog
+
+import (
+	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+)
+
+// benchAppend measures the store append path under a given write-buffer
+// threshold, with one group Sync per syncEvery appends (the shape of a
+// simulated run: many appends per node, one durable sync at the barrier).
+// bufLimit 0 reproduces the pre-buffering behavior of one positioned write
+// per record; storeBufLimit is the shipped configuration.
+func benchAppend(b *testing.B, bufLimit, syncEvery int) {
+	b.Helper()
+	dir := b.TempDir()
+	key, err := cryptoutil.PooledKey(testSuite, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := NewStored(dir, "bench", testSuite, key, nil, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	l.store.bufLimit = bufLimit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(insEntry(types.Time(i+1), "k", int64(i)))
+		if (i+1)%syncEvery == 0 {
+			if err := l.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := l.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStoreAppend compares the grouped (buffered) append path against
+// the old per-record write behavior, at two sync cadences.
+func BenchmarkStoreAppend(b *testing.B) {
+	b.Run("buffered/sync=4096", func(b *testing.B) { benchAppend(b, storeBufLimit, 4096) })
+	b.Run("unbuffered/sync=4096", func(b *testing.B) { benchAppend(b, 0, 4096) })
+	b.Run("buffered/sync=256", func(b *testing.B) { benchAppend(b, storeBufLimit, 256) })
+	b.Run("unbuffered/sync=256", func(b *testing.B) { benchAppend(b, 0, 256) })
+}

@@ -108,8 +108,13 @@ func TestStoreCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reopen without Close/Sync: a crash. Recovery must replay the file,
-	// re-verify the chain, and serve identical bytes.
+	// Reopen without Close/Sync: a crash after the OS received the appends
+	// (Flush writes them out without fsync, like the pre-buffering store's
+	// per-append writes). Recovery must replay the file, re-verify the
+	// chain, and serve identical bytes.
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	rec, err := Open(dir, "n1", testSuite, nil, nil, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +152,9 @@ func TestStoreRecoveryAfterTruncate(t *testing.T) {
 	if err := live.Err(); err != nil {
 		t.Fatal(err)
 	}
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	liveSeg, err := live.Segment(9, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +187,9 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	live, dir := newStoredTestLog(t, 0)
 	fillBoth(nil, live, 10, 0)
 	hash5 := live.HashAt(5)
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Simulate a crash mid-append: chop bytes off the end of the data file.
 	path := filepath.Join(dir, storeFileName("n1"))
@@ -200,6 +211,55 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	}
 	if !bytes.Equal(rec.HashAt(5), hash5) {
 		t.Error("recovered chain prefix diverges")
+	}
+}
+
+// TestStoreCrashLosesOnlyBufferedTail pins the buffered append path's crash
+// model: a process crash with an unflushed write buffer loses at most the
+// buffered tail; recovery serves a verified prefix of the chain, and the
+// synced head (here: never synced) is not violated.
+func TestStoreCrashLosesOnlyBufferedTail(t *testing.T) {
+	live, dir := newStoredTestLog(t, 0)
+	fillBoth(nil, live, 12, 0)
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	prefixHead := live.HashAt(12)
+	fillBoth(nil, live, 5, 0) // these stay in the buffer: lost in the "crash"
+
+	rec, err := Open(dir, "n1", testSuite, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 12 {
+		t.Fatalf("recovered %d entries, want the 12 flushed ones", rec.Len())
+	}
+	if !bytes.Equal(rec.HeadHash(), prefixHead) {
+		t.Error("recovered head does not match the flushed prefix")
+	}
+}
+
+// TestStoreSyncCoversBufferedTail pins group commit: Sync must make every
+// buffered append durable and recoverable, however large the batch.
+func TestStoreSyncCoversBufferedTail(t *testing.T) {
+	live, dir := newStoredTestLog(t, 0)
+	fillBoth(nil, live, 40, 9)
+	if err := live.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	head := live.HeadHash()
+
+	rec, err := Open(dir, "n1", testSuite, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 40 {
+		t.Fatalf("recovered %d entries, want 40", rec.Len())
+	}
+	if !bytes.Equal(rec.HeadHash(), head) {
+		t.Error("recovered head differs after group-committed sync")
 	}
 }
 

@@ -1,0 +1,112 @@
+package simnet_test
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/mincost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// runDigest captures every deterministic observable of a finished run: the
+// full traffic meter (Go formats maps in sorted key order), the log totals,
+// the crypto operation counts (minus cache hits, which depend on what
+// earlier runs in the same process left in the shared verification cache),
+// the maintainer notification count, and — strongest of all — every node's
+// log head hash, which commits to that node's entire execution history.
+func runDigest(net *simnet.Net) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic=%+v\n", *net.Traffic)
+	fmt.Fprintf(&b, "logstats=%+v\n", net.LogStats())
+	cs := net.CryptoStats()
+	cs.VerifyCacheHits = 0
+	fmt.Fprintf(&b, "crypto=%+v\n", cs)
+	fmt.Fprintf(&b, "notified=%d\n", net.Maintainer.Count())
+	for _, id := range net.Nodes() {
+		fmt.Fprintf(&b, "head[%s]=%s\n", id, hex.EncodeToString(net.Node(id).Log.HeadHash()))
+	}
+	return b.String()
+}
+
+// runMinCostWorkers runs the Figure 2 deployment (including a mid-run
+// harness event and a second Run call) under the given worker count.
+func runMinCostWorkers(t *testing.T, workers int, seed int64) *simnet.Net {
+	t.Helper()
+	cfg := simnet.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	net := simnet.New(cfg)
+	if err := mincost.Deploy(net, mincost.Figure2Topology, 1*types.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.At(20*types.Second, func() {
+		net.Node("b").DeleteBase(mincost.Link("b", "d", 3))
+		net.Node("d").DeleteBase(mincost.Link("d", "b", 3))
+	})
+	net.Run(15 * types.Second)
+	net.Run(30 * types.Second)
+	return net
+}
+
+// TestShardedSchedulerMatchesSerial pins the tentpole determinism contract:
+// the sharded conservative-window scheduler must reproduce the serial
+// single-worker reference bit-for-bit — same traffic meters, same log
+// contents (head hashes), same crypto counts — for every worker count and
+// across seeds.
+func TestShardedSchedulerMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runDigest(runMinCostWorkers(t, 1, seed))
+			for _, workers := range []int{2, 4, 8} {
+				got := runDigest(runMinCostWorkers(t, workers, seed))
+				if got != ref {
+					t.Errorf("workers=%d diverged from serial reference:\nserial:\n%s\nsharded:\n%s",
+						workers, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQueryAnswersMatchSerial runs the full audit digest (vertex
+// sets, colors, edges, metrics) over a serial and a sharded run: the
+// reconstructed provenance graph is a pure function of the logs, so it too
+// must be identical.
+func TestShardedQueryAnswersMatchSerial(t *testing.T) {
+	serial := digestAudit(t, runMinCostWorkers(t, 1, 1), false)
+	sharded := digestAudit(t, runMinCostWorkers(t, 8, 1), false)
+	if serial.vertices != sharded.vertices {
+		t.Errorf("vertex sets differ:\nserial:\n%s\nsharded:\n%s", serial.vertices, sharded.vertices)
+	}
+	if serial.edges != sharded.edges {
+		t.Errorf("edge counts differ: serial=%d sharded=%d", serial.edges, sharded.edges)
+	}
+	if serial.metrics != sharded.metrics {
+		t.Errorf("metrics differ:\nserial:   %s\nsharded: %s", serial.metrics, sharded.metrics)
+	}
+	if serial.failures != sharded.failures {
+		t.Errorf("failures differ:\nserial:\n%s\nsharded:\n%s", serial.failures, sharded.failures)
+	}
+}
+
+// TestPeriodicReschedulesOnFire pins the reschedule-on-fire contract: a
+// periodic chain fires at start, start+i·interval strictly below end, keeps
+// only one queued event per live chain, and a later Run resumes cleanly.
+func TestPeriodicReschedulesOnFire(t *testing.T) {
+	cfg := simnet.DefaultConfig()
+	cfg.TickEvery = 0 // no node ticks; only the chain under test
+	net := simnet.New(cfg)
+	var fired []types.Time
+	net.Periodic(2*types.Second, 3*types.Second, 14*types.Second, func() {
+		fired = append(fired, net.Now())
+	})
+	net.Run(20 * types.Second)
+	want := []types.Time{2 * types.Second, 5 * types.Second, 8 * types.Second, 11 * types.Second}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Errorf("periodic fired at %v, want %v", fired, want)
+	}
+}

@@ -4,13 +4,48 @@
 // and bounded by Tprop; every transmitted byte is metered and attributed to
 // the categories Figure 5 reports (baseline payload, provenance metadata,
 // authenticators, acknowledgments).
+//
+// # Scheduling model
+//
+// Every node owns an event shard: a private queue of events ordered by
+// (time, source, per-source sequence), a private random stream per outgoing
+// link, and a private traffic meter. Cross-node interaction happens only
+// through Send, whose delivery delay is at least Cfg.MinDelay; the scheduler
+// exploits that bound conservatively. Run advances virtual time in windows
+// [T, T+MinDelay): within a window every shard executes its own events
+// independently (optionally on parallel workers — Config.Workers), because
+// nothing a shard does before T+MinDelay can affect another shard before
+// T+MinDelay. Deliveries produced during a window are staged in
+// per-destination mailboxes and merged into the target shards at the window
+// barrier, ordered by the same (time, source, sequence) key.
+//
+// Harness events scheduled with At/Periodic (no node affiliation) run
+// single-threaded at window barriers, before any node event carrying the
+// same timestamp; node-targeted work should use AtNode/PeriodicNode so it
+// runs on — and scales with — the node's shard.
+//
+// # Determinism contract
+//
+// A run is a pure function of the configuration (including Seed) and the
+// scheduled workload: random delay and skew draws come from per-link and
+// per-node streams derived from Seed (never from a shared generator whose
+// consumption order depends on scheduling), every queue is ordered by the
+// total key (time, source, sequence), and shard meters are merged in node
+// order. Consequently the number of workers does not influence any
+// observable: a Workers=8 run is bit-identical — Traffic, LogStats,
+// CryptoStats, log contents, query answers — to the Workers=1 reference
+// execution, which the equivalence tests pin.
 package simnet
 
 import (
 	"container/heap"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"slices"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
@@ -19,25 +54,39 @@ import (
 	"repro/internal/wire"
 )
 
-// event is one scheduled simulator action.
+// event is one scheduled simulator action. src is the scheduling shard ("" =
+// harness); seq is a per-source counter, so (at, src, seq) is a total order
+// that both the serial reference and the sharded scheduler sort by.
 type event struct {
 	at  types.Time
+	src types.NodeID
 	seq uint64
 	fn  func()
 }
 
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.src != o.src {
+		return e.src < o.src
+	}
+	return e.seq < o.seq
+}
+
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Traffic meters transmitted bytes by category.
 type Traffic struct {
@@ -57,6 +106,58 @@ func (t *Traffic) TotalBytes() int64 {
 	return t.BaselineBytes + t.ProvenanceBytes + t.AuthBytes + t.AckBytes
 }
 
+// add accumulates another meter into t. Sums are order-independent, so the
+// merged view is identical no matter how shard execution interleaved.
+func (t *Traffic) add(o *Traffic) {
+	t.BaselineBytes += o.BaselineBytes
+	t.ProvenanceBytes += o.ProvenanceBytes
+	t.AuthBytes += o.AuthBytes
+	t.AckBytes += o.AckBytes
+	t.Envelopes += o.Envelopes
+	t.Messages += o.Messages
+	t.Acks += o.Acks
+	for id, b := range o.PerNodeBytes {
+		t.PerNodeBytes[id] += b
+	}
+	for id, b := range o.PerNodeBaseline {
+		t.PerNodeBaseline[id] += b
+	}
+}
+
+// meter attributes one packet sent by from.
+func (t *Traffic) meter(from types.NodeID, pkt *core.Packet) {
+	switch pkt.Kind {
+	case core.PktEnvelope:
+		env := pkt.Envelope
+		var base int64
+		for i := range env.Msgs {
+			base += int64(baselineSize(&env.Msgs[i]))
+		}
+		full := int64(pkt.WireSize())
+		payload := int64(env.PayloadSize())
+		t.BaselineBytes += base
+		t.ProvenanceBytes += payload - base
+		t.AuthBytes += full - payload
+		t.Envelopes++
+		t.Messages += int64(len(env.Msgs))
+		if t.PerNodeBytes == nil {
+			t.PerNodeBytes = make(map[types.NodeID]int64)
+			t.PerNodeBaseline = make(map[types.NodeID]int64)
+		}
+		t.PerNodeBytes[from] += full
+		t.PerNodeBaseline[from] += base
+	case core.PktAck:
+		sz := int64(pkt.WireSize())
+		t.AckBytes += sz
+		t.Acks++
+		if t.PerNodeBytes == nil {
+			t.PerNodeBytes = make(map[types.NodeID]int64)
+			t.PerNodeBaseline = make(map[types.NodeID]int64)
+		}
+		t.PerNodeBytes[from] += sz
+	}
+}
+
 // baselineSize is the wire size of a message without SNP's provenance
 // metadata (send timestamp and sequence number).
 func baselineSize(m *types.Message) int {
@@ -74,13 +175,20 @@ func baselineSize(m *types.Message) int {
 type Config struct {
 	Core core.Config
 	// MinDelay/MaxDelay bound message propagation (MaxDelay must stay
-	// below Core.Tprop for the quiescence assumptions to hold).
+	// below Core.Tprop for the quiescence assumptions to hold). MinDelay is
+	// also the conservative lookahead of the sharded scheduler: larger
+	// values mean wider windows and more parallelism.
 	MinDelay types.Time
 	MaxDelay types.Time
 	// TickEvery drives node timers (batching, checkpoints, retransmits).
 	TickEvery types.Time
 	// Seed makes the run reproducible.
 	Seed int64
+	// Workers bounds how many shards Run may execute concurrently within a
+	// window. 0 or 1 is the serial reference scheduler; values > 1 enable
+	// the parallel scheduler; negative uses GOMAXPROCS. Every observable is
+	// bit-identical across worker counts (see the package comment).
+	Workers int
 	// Baseline disables all SNP machinery accounting except payload
 	// metering (used to measure the baseline system).
 	Baseline bool
@@ -98,21 +206,66 @@ func DefaultConfig() Config {
 	}
 }
 
+// staged is one cross-shard delivery produced during a window, exchanged at
+// the next barrier.
+type staged struct {
+	dst *shard
+	ev  *event
+}
+
+// shard is one node's slice of the simulation: its event queue, its outgoing
+// random streams, its traffic meter, and its outbox of cross-shard
+// deliveries. During a window a shard is touched only by the single worker
+// executing it; between windows only the coordinator touches it.
+type shard struct {
+	id   types.NodeID
+	node *core.Node
+
+	queue eventHeap
+	seq   uint64 // per-source counter for events this shard schedules
+
+	// now is the timestamp of the event currently (or last) executed on
+	// this shard; the node's clock reads max(shard.now, Net.now).
+	now types.Time
+
+	// links holds one seeded delay stream per outgoing link (this node →
+	// dst), so delay draws depend only on this node's own send order.
+	links map[types.NodeID]*rand.Rand
+
+	traffic Traffic
+	outbox  []staged
+}
+
+// schedule pushes an event sourced by this shard onto its own queue.
+func (sh *shard) schedule(at types.Time, fn func()) {
+	sh.seq++
+	heap.Push(&sh.queue, &event{at: at, src: sh.id, seq: sh.seq, fn: fn})
+}
+
 // Net is the simulated network plus all nodes attached to it.
 type Net struct {
 	Cfg        Config
 	Dir        *core.Directory
 	Maintainer *core.Maintainer
-	Traffic    *Traffic
+	// Traffic is the merged view of all shard meters; it is refreshed at
+	// the end of every Run (reading it mid-run sees the previous Run's
+	// totals).
+	Traffic *Traffic
 
-	nodes map[types.NodeID]*core.Node
-	order []types.NodeID // sorted; maintained incrementally by AddNode
-	now   types.Time
-	queue eventHeap
-	seq   uint64
-	rng   *rand.Rand
+	shards  map[types.NodeID]*shard
+	order   []types.NodeID // sorted; maintained incrementally by AddNode
+	byOrder []*shard       // shards in order
+
+	now       types.Time // committed global time (window barrier / Run horizon)
+	globalQ   eventHeap  // harness events (src ""), run at barriers
+	globalSeq uint64
+
 	skews map[types.NodeID]types.Time
-	// Partition drops packets between partitioned pairs when set.
+
+	// Partition drops packets between partitioned pairs when set. It is
+	// called from shard workers and must be a pure function of its
+	// arguments; install or swap it only at setup time or from an At
+	// (barrier) event.
 	Partition func(from, to types.NodeID) bool
 }
 
@@ -126,20 +279,58 @@ func New(cfg Config) *Net {
 			PerNodeBytes:    make(map[types.NodeID]int64),
 			PerNodeBaseline: make(map[types.NodeID]int64),
 		},
-		nodes: make(map[types.NodeID]*core.Node),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		skews: make(map[types.NodeID]types.Time),
+		shards: make(map[types.NodeID]*shard),
+		skews:  make(map[types.NodeID]types.Time),
 	}
 }
 
-// Now returns the global virtual time.
+// Now returns the global virtual time (the current window barrier; within a
+// window, individual shards may be ahead by less than MinDelay).
 func (n *Net) Now() types.Time { return n.now }
 
+// derivedSeed maps (seed, domain, a, b) to an independent stream seed. The
+// derivation is order-free: a stream's identity depends only on what it is
+// for, never on when it was first used.
+func derivedSeed(seed int64, domain string, a, b types.NodeID) int64 {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(domain))
+	h.Write([]byte{0})
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	sum := h.Sum(nil)
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// linkRng returns the delay stream for the link sh.id → dst, creating it on
+// first use from the link's derived seed.
+func (n *Net) linkRng(sh *shard, dst types.NodeID) *rand.Rand {
+	if r, ok := sh.links[dst]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(derivedSeed(n.Cfg.Seed, "link-delay", sh.id, dst)))
+	sh.links[dst] = r
+	return r
+}
+
+// timeAt is the current moment from a shard's perspective: its own event
+// time while it executes, the barrier time otherwise.
+func (n *Net) timeAt(sh *shard) types.Time {
+	if sh.now > n.now {
+		return sh.now
+	}
+	return n.now
+}
+
 // AddNode creates a node with a pooled deterministic key, registers its
-// certificate, and schedules its periodic ticks. keySeed should be unique
-// per node (e.g. its index).
+// certificate, and gives it an event shard. keySeed should be unique per
+// node (e.g. its index). Nodes must be added at setup time or from a
+// barrier (At) event, never from node execution.
 func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*core.Node, error) {
-	if _, dup := n.nodes[id]; dup {
+	if _, dup := n.shards[id]; dup {
 		return nil, fmt.Errorf("simnet: duplicate node %s", id)
 	}
 	key, err := cryptoutil.PooledKey(n.Cfg.Core.Suite, keySeed)
@@ -147,14 +338,17 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 		return nil, err
 	}
 	n.Dir.Register(id, key.Public())
-	// Per-node clock skew in [−Δclock/2, +Δclock/2], deterministic.
+	// Per-node clock skew in [−Δclock/2, +Δclock/2], drawn from the node's
+	// own derived stream so it does not depend on registration order.
 	skew := types.Time(0)
 	if n.Cfg.Core.DeltaClock > 0 {
-		skew = types.Time(n.rng.Int63n(int64(n.Cfg.Core.DeltaClock))) - n.Cfg.Core.DeltaClock/2
+		rng := rand.New(rand.NewSource(derivedSeed(n.Cfg.Seed, "clock-skew", id, "")))
+		skew = types.Time(rng.Int63n(int64(n.Cfg.Core.DeltaClock))) - n.Cfg.Core.DeltaClock/2
 	}
 	n.skews[id] = skew
+	sh := &shard{id: id, links: make(map[types.NodeID]*rand.Rand)}
 	clock := core.ClockFunc(func() types.Time {
-		t := n.now + skew
+		t := n.timeAt(sh) + skew
 		if t < 0 {
 			t = 0
 		}
@@ -164,9 +358,11 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 	if err != nil {
 		return nil, err
 	}
-	n.nodes[id] = node
+	sh.node = node
+	n.shards[id] = sh
 	if i, found := slices.BinarySearch(n.order, id); !found {
 		n.order = slices.Insert(n.order, i, id)
+		n.byOrder = slices.Insert(n.byOrder, i, sh)
 	}
 	return node, nil
 }
@@ -181,7 +377,12 @@ func (n *Net) MustAddNode(id types.NodeID, keySeed int64, machine types.Machine)
 }
 
 // Node returns a node by ID.
-func (n *Net) Node(id types.NodeID) *core.Node { return n.nodes[id] }
+func (n *Net) Node(id types.NodeID) *core.Node {
+	if sh := n.shards[id]; sh != nil {
+		return sh.node
+	}
+	return nil
+}
 
 // Nodes implements core.Fetcher's node listing (sorted). The order slice is
 // kept sorted by AddNode, so this is a plain copy.
@@ -189,91 +390,276 @@ func (n *Net) Nodes() []types.NodeID {
 	return append([]types.NodeID(nil), n.order...)
 }
 
-// Send implements core.Sender: meter the packet and schedule its delivery.
+// Send implements core.Sender: meter the packet on the sender's shard and
+// stage its delivery in the destination's mailbox. It is called from the
+// sending node's own execution (or from a barrier event touching that
+// node), so the sender's shard state is safe to use without locks.
 func (n *Net) Send(from, to types.NodeID, pkt *core.Packet) {
-	n.meter(from, pkt)
+	src := n.shards[from]
+	if src == nil {
+		return
+	}
+	src.traffic.meter(from, pkt)
 	if n.Partition != nil && n.Partition(from, to) {
 		return
 	}
 	delay := n.Cfg.MinDelay
 	if n.Cfg.MaxDelay > n.Cfg.MinDelay {
-		delay += types.Time(n.rng.Int63n(int64(n.Cfg.MaxDelay - n.Cfg.MinDelay)))
+		delay += types.Time(n.linkRng(src, to).Int63n(int64(n.Cfg.MaxDelay - n.Cfg.MinDelay)))
 	}
-	dst := n.nodes[to]
+	dst := n.shards[to]
 	if dst == nil {
 		return
 	}
-	n.At(n.now+delay, func() {
+	src.seq++
+	node := dst.node
+	ev := &event{at: n.timeAt(src) + delay, src: from, seq: src.seq, fn: func() {
 		// Delivery errors model dropped packets (bad signatures etc.); the
 		// commitment protocol's retransmit/notify path covers them.
-		_ = dst.HandlePacket(from, pkt)
-	})
+		_ = node.HandlePacket(from, pkt)
+	}}
+	src.outbox = append(src.outbox, staged{dst: dst, ev: ev})
 }
 
-func (n *Net) meter(from types.NodeID, pkt *core.Packet) {
-	switch pkt.Kind {
-	case core.PktEnvelope:
-		env := pkt.Envelope
-		var base int64
-		for i := range env.Msgs {
-			base += int64(baselineSize(&env.Msgs[i]))
-		}
-		full := int64(pkt.WireSize())
-		payload := int64(env.PayloadSize())
-		n.Traffic.BaselineBytes += base
-		n.Traffic.ProvenanceBytes += payload - base
-		n.Traffic.AuthBytes += full - payload
-		n.Traffic.Envelopes++
-		n.Traffic.Messages += int64(len(env.Msgs))
-		n.Traffic.PerNodeBytes[from] += full
-		n.Traffic.PerNodeBaseline[from] += base
-	case core.PktAck:
-		sz := int64(pkt.WireSize())
-		n.Traffic.AckBytes += sz
-		n.Traffic.Acks++
-		n.Traffic.PerNodeBytes[from] += sz
-	}
-}
-
-// At schedules fn at virtual time t (clamped to now).
+// At schedules fn at virtual time t (clamped to now) as a harness event: it
+// runs single-threaded at a window barrier, before any node event with the
+// same timestamp, and may safely touch any node or the network itself.
 func (n *Net) At(t types.Time, fn func()) {
 	if t < n.now {
 		t = n.now
 	}
-	n.seq++
-	heap.Push(&n.queue, &event{at: t, seq: n.seq, fn: fn})
+	n.globalSeq++
+	heap.Push(&n.globalQ, &event{at: t, src: "", seq: n.globalSeq, fn: fn})
 }
 
-// Periodic schedules fn every interval in [start, end).
-func (n *Net) Periodic(start, interval, end types.Time, fn func()) {
-	for t := start; t < end; t += interval {
+// AtNode schedules fn at virtual time t on id's shard: it executes inside
+// id's event stream (in (time, source, sequence) order) and may touch only
+// that node. Unknown IDs fall back to a barrier event. AtNode may be called
+// at setup time, from a barrier event, or from id's own execution — never
+// from another node's execution.
+func (n *Net) AtNode(id types.NodeID, t types.Time, fn func()) {
+	sh := n.shards[id]
+	if sh == nil {
 		n.At(t, fn)
+		return
+	}
+	if c := n.timeAt(sh); t < c {
+		t = c
+	}
+	sh.schedule(t, fn)
+}
+
+// Periodic schedules fn every interval in [start, end) as a harness
+// (barrier) event. The next firing is scheduled when the previous one runs,
+// so the queue stays proportional to live work rather than the horizon.
+func (n *Net) Periodic(start, interval, end types.Time, fn func()) {
+	n.periodic(start, interval, end, fn, func(t types.Time, f func()) { n.At(t, f) })
+}
+
+// PeriodicNode is Periodic on id's shard (see AtNode for the affiliation
+// contract): the firings execute inside — and scale with — id's shard.
+func (n *Net) PeriodicNode(id types.NodeID, start, interval, end types.Time, fn func()) {
+	n.periodic(start, interval, end, fn, func(t types.Time, f func()) { n.AtNode(id, t, f) })
+}
+
+// periodic implements reschedule-on-fire: one queued event per live chain.
+func (n *Net) periodic(start, interval, end types.Time, fn func(), at func(types.Time, func())) {
+	if interval <= 0 || start >= end {
+		return
+	}
+	cur := start
+	var tick func()
+	tick = func() {
+		fn()
+		cur += interval
+		if cur < end {
+			at(cur, tick)
+		}
+	}
+	at(cur, tick)
+}
+
+// workers resolves the configured worker count.
+func (n *Net) workers() int {
+	w := n.Cfg.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scheduleTicks starts one reschedule-on-fire tick chain per node for this
+// Run's horizon.
+func (n *Net) scheduleTicks(until types.Time) {
+	if n.Cfg.TickEvery <= 0 {
+		return
+	}
+	for _, sh := range n.byOrder {
+		node := sh.node
+		// Tick errors are local faults (e.g. a signing failure); the node
+		// keeps running and audits expose it (Node.Err holds it).
+		n.PeriodicNode(sh.id, n.now+n.Cfg.TickEvery, n.Cfg.TickEvery, until, func() { _ = node.Tick() })
+	}
+}
+
+// flushOutboxes merges every staged cross-shard delivery into its target
+// queue. Shards are drained in node order; within a shard, the outbox holds
+// its execution order. The merge is deterministic either way: (at, src,
+// seq) keys are unique, so heap order is independent of insertion order.
+func (n *Net) flushOutboxes() {
+	for _, sh := range n.byOrder {
+		for _, st := range sh.outbox {
+			heap.Push(&st.dst.queue, st.ev)
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// nextEventTime returns the earliest pending event time across all shards
+// and the harness queue.
+func (n *Net) nextEventTime() (types.Time, bool) {
+	var best types.Time
+	ok := false
+	if len(n.globalQ) > 0 {
+		best, ok = n.globalQ[0].at, true
+	}
+	for _, sh := range n.byOrder {
+		if len(sh.queue) > 0 && (!ok || sh.queue[0].at < best) {
+			best, ok = sh.queue[0].at, true
+		}
+	}
+	return best, ok
+}
+
+// windowPool is a persistent worker pool for one Run: the workers outlive
+// the windows, so a barrier costs one channel send per runnable shard
+// instead of a goroutine spawn per worker per window.
+type windowPool struct {
+	work chan *shard
+	wg   sync.WaitGroup
+	// wEnd is the current window's bound. It is written by the coordinator
+	// before any shard of that window is sent and read by workers only
+	// while processing those shards; the channel send/receive orders the
+	// accesses.
+	wEnd types.Time
+}
+
+func newWindowPool(workers int) *windowPool {
+	p := &windowPool{work: make(chan *shard, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for sh := range p.work {
+				runShard(sh, p.wEnd)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// runWindow dispatches one window's runnable shards and waits for the
+// barrier.
+func (p *windowPool) runWindow(runnable []*shard, wEnd types.Time) {
+	p.wEnd = wEnd
+	p.wg.Add(len(runnable))
+	for _, sh := range runnable {
+		p.work <- sh
+	}
+	p.wg.Wait()
+}
+
+func (p *windowPool) stop() { close(p.work) }
+
+// runShard executes one shard's events with at < wEnd. Within a window a
+// shard touches only its own state (plus lock-protected, order-insensitive
+// shared structures such as the maintainer registry and the verification
+// cache), so the serial and parallel interleavings are observably
+// identical.
+func runShard(sh *shard, wEnd types.Time) {
+	for len(sh.queue) > 0 && sh.queue[0].at < wEnd {
+		ev := heap.Pop(&sh.queue).(*event)
+		sh.now = ev.at
+		ev.fn()
 	}
 }
 
 // Run processes events until the queue is empty or virtual time passes
-// until.
+// until. Events stamped beyond the horizon stay queued for a later Run.
 func (n *Net) Run(until types.Time) {
-	// Schedule node ticks lazily so nodes added after New are covered.
-	if n.Cfg.TickEvery > 0 {
-		for _, id := range n.Nodes() {
-			node := n.nodes[id]
-			// Tick errors are local faults (e.g. a signing failure); the
-			// node keeps running and audits expose it (Node.Err holds it).
-			n.Periodic(n.now+n.Cfg.TickEvery, n.Cfg.TickEvery, until, func() { _ = node.Tick() })
-		}
+	if until < n.now {
+		until = n.now
 	}
-	for n.queue.Len() > 0 {
-		ev := heap.Pop(&n.queue).(*event)
-		if ev.at > until {
-			heap.Push(&n.queue, ev) // keep it for a later Run
-			n.now = until
-			return
+	n.scheduleTicks(until)
+	workers := n.workers()
+	var pool *windowPool
+	if workers > 1 {
+		pool = newWindowPool(workers)
+		defer pool.stop()
+	}
+	// The conservative lookahead: cross-shard effects cannot land sooner
+	// than MinDelay after they are produced. A non-positive MinDelay
+	// degenerates to single-instant windows, which stays deterministic but
+	// forfeits parallelism.
+	window := n.Cfg.MinDelay
+	if window < 1 {
+		window = 1
+	}
+	runnable := make([]*shard, 0, len(n.byOrder))
+	for {
+		n.flushOutboxes()
+		t, ok := n.nextEventTime()
+		if !ok || t > until {
+			break
 		}
-		n.now = ev.at
-		ev.fn()
+		n.now = t
+		// Harness events due now run first (source "" orders before every
+		// node ID), single-threaded, with the whole network quiescent.
+		if len(n.globalQ) > 0 && n.globalQ[0].at <= t {
+			for len(n.globalQ) > 0 && n.globalQ[0].at <= t {
+				ev := heap.Pop(&n.globalQ).(*event)
+				ev.fn()
+			}
+			continue // re-merge and re-pick: barriers may schedule anywhere
+		}
+		wEnd := t + window
+		if len(n.globalQ) > 0 && n.globalQ[0].at < wEnd {
+			wEnd = n.globalQ[0].at // the next barrier bounds the window
+		}
+		if until+1 < wEnd {
+			wEnd = until + 1 // events at exactly `until` still run
+		}
+		runnable = runnable[:0]
+		for _, sh := range n.byOrder {
+			if len(sh.queue) > 0 && sh.queue[0].at < wEnd {
+				runnable = append(runnable, sh)
+			}
+		}
+		if pool == nil || len(runnable) <= 1 {
+			for _, sh := range runnable {
+				runShard(sh, wEnd)
+			}
+		} else {
+			pool.runWindow(runnable, wEnd)
+		}
 	}
 	n.now = until
+	n.refreshTraffic()
+}
+
+// refreshTraffic rebuilds the merged traffic view from the shard meters (in
+// node order; the totals are order-independent sums).
+func (n *Net) refreshTraffic() {
+	t := n.Traffic
+	*t = Traffic{
+		PerNodeBytes:    make(map[types.NodeID]int64),
+		PerNodeBaseline: make(map[types.NodeID]int64),
+	}
+	for _, sh := range n.byOrder {
+		t.add(&sh.traffic)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -281,7 +667,7 @@ func (n *Net) Run(until types.Time) {
 
 // Retrieve implements core.Fetcher.
 func (n *Net) Retrieve(node types.NodeID, req core.RetrieveRequest) (*core.RetrieveResponse, error) {
-	nd := n.nodes[node]
+	nd := n.Node(node)
 	if nd == nil {
 		return nil, fmt.Errorf("simnet: unknown node %s", node)
 	}
@@ -290,7 +676,7 @@ func (n *Net) Retrieve(node types.NodeID, req core.RetrieveRequest) (*core.Retri
 
 // LatestAuth implements core.Fetcher.
 func (n *Net) LatestAuth(node types.NodeID) (seclog.Authenticator, error) {
-	nd := n.nodes[node]
+	nd := n.Node(node)
 	if nd == nil {
 		return seclog.Authenticator{}, fmt.Errorf("simnet: unknown node %s", node)
 	}
@@ -299,7 +685,7 @@ func (n *Net) LatestAuth(node types.NodeID) (seclog.Authenticator, error) {
 
 // AuthsAbout implements core.Fetcher.
 func (n *Net) AuthsAbout(observer, target types.NodeID, t1, t2 types.Time) []seclog.Authenticator {
-	nd := n.nodes[observer]
+	nd := n.Node(observer)
 	if nd == nil {
 		return nil
 	}
@@ -325,12 +711,11 @@ type LogStats struct {
 // logs' checkpoint index, so store-backed logs are not paged in from disk.
 func (n *Net) LogStats() LogStats {
 	var s LogStats
-	for _, id := range n.Nodes() {
-		node := n.nodes[id]
+	for _, sh := range n.byOrder {
 		s.Nodes++
-		s.GrossBytes += node.Log.GrossBytes()
-		s.Entries += node.Log.Len()
-		s.CkptBytes += node.Log.CheckpointBytes()
+		s.GrossBytes += sh.node.Log.GrossBytes()
+		s.Entries += sh.node.Log.Len()
+		s.CkptBytes += sh.node.Log.CheckpointBytes()
 	}
 	return s
 }
@@ -338,8 +723,8 @@ func (n *Net) LogStats() LogStats {
 // SyncLogs durably syncs every store-backed log (no-op for in-memory logs).
 func (n *Net) SyncLogs() error {
 	var err error
-	for _, id := range n.Nodes() {
-		if err2 := n.nodes[id].Log.Sync(); err == nil {
+	for _, sh := range n.byOrder {
+		if err2 := sh.node.Log.Sync(); err == nil {
 			err = err2
 		}
 	}
@@ -350,8 +735,8 @@ func (n *Net) SyncLogs() error {
 // be run afterwards.
 func (n *Net) CloseLogs() error {
 	var err error
-	for _, id := range n.Nodes() {
-		if err2 := n.nodes[id].Log.Close(); err == nil {
+	for _, sh := range n.byOrder {
+		if err2 := sh.node.Log.Close(); err == nil {
 			err = err2
 		}
 	}
@@ -361,8 +746,8 @@ func (n *Net) CloseLogs() error {
 // CryptoStats sums per-node crypto operation counts (Figure 7).
 func (n *Net) CryptoStats() cryptoutil.StatsSnapshot {
 	var sum cryptoutil.StatsSnapshot
-	for _, id := range n.Nodes() {
-		sum = sum.Add(n.nodes[id].Stats.Snapshot())
+	for _, sh := range n.byOrder {
+		sum = sum.Add(sh.node.Stats.Snapshot())
 	}
 	return sum
 }
