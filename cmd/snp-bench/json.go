@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/eval"
 )
 
@@ -196,6 +197,44 @@ func writeJSONResults(path, baselinePath string, iters int, o eval.Options) erro
 					"ckpt-bytes":  float64(f6.CkptBytes),
 				},
 			})
+	}
+
+	// Adversary scenario family: one run per behavior with one compromised
+	// node, full-deployment audit, evidence scored (§6.1-style detection
+	// metrics). The detection guarantee is enforced, not just reported: a
+	// false accusation or a missed non-benign behavior fails the bench the
+	// way a diverging sharded series does.
+	for _, cfgName := range []eval.ConfigName{eval.Quagga, eval.ChordSmall, eval.HadoopSmall} {
+		behaviors := adversary.Catalog()
+		start := time.Now()
+		sum, err := eval.AdversaryScenarios(cfgName, o, 1, behaviors)
+		if err != nil {
+			return fmt.Errorf("adversary scenarios %s: %w", cfgName, err)
+		}
+		d := time.Since(start)
+		if n := sum.FalseAccusations(); n != 0 {
+			return fmt.Errorf("adversary scenarios %s: %d honest nodes falsely accused", cfgName, n)
+		}
+		if rate := sum.DetectionRate(); rate != 1.0 {
+			return fmt.Errorf("adversary scenarios %s: detection rate %.2f, want 1.0", cfgName, rate)
+		}
+		var failures, red, leads float64
+		for _, r := range sum.Rows {
+			failures += float64(r.Failures)
+			red += float64(r.RedHosts)
+			leads += float64(r.Unresponsive + r.Notes)
+		}
+		results = append(results, BenchResult{
+			Name: benchName("Adversary", cfgName), NsPerOp: d.Nanoseconds() / int64(len(behaviors)),
+			Metrics: map[string]float64{
+				"detection-rate":    sum.DetectionRate(),
+				"false-accusations": float64(sum.FalseAccusations()),
+				"behaviors":         float64(len(behaviors)),
+				"provable-failures": failures,
+				"red-hosts":         red,
+				"leads":             leads,
+			},
+		})
 	}
 
 	// The Fig8 query benchmarks: a fresh run plus the query, like the go

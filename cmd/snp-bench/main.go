@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario on its own (not part of 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario and 'adversary' the Byzantine detection-guarantee scenarios on their own (not part of 'all')")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	simWorkers := flag.Int("sim-workers", 0, "parallel event shards for the simulation driver (0/1 = serial reference, -1 = GOMAXPROCS); every deterministic series is bit-identical across values")
@@ -37,6 +37,8 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations per benchmark for -json (ns/op is the mean, like go test -benchtime=Nx)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after all runs) to this file")
+	advFilter := flag.String("adversary", "all", "comma-separated behavior filter for -fig adversary (e.g. 'forge,equivocate'; 'all' runs the whole library)")
+	advK := flag.Int("adversary-k", 1, "compromised nodes per adversary scenario")
 	flag.Parse()
 
 	if *hotTail != 0 && *logDir == "" && *fig != "retention" {
@@ -77,6 +79,43 @@ func main() {
 
 	o := eval.Options{Scale: eval.Scale(*scale), Seed: *seed, LogDir: *logDir, LogHotTail: *hotTail, SimWorkers: *simWorkers}
 	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if *fig == "adversary" {
+		// The detection-guarantee scenario family (§2, §4, §6.1): each
+		// configuration re-runs once per behavior with k compromised nodes,
+		// then the whole deployment is audited and the evidence is scored.
+		behaviors, err := eval.SelectBehaviors(*advFilter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== Adversary scenarios: detection guarantees with k=%d compromised nodes ==\n", *advK)
+		violated := false
+		for _, cfgName := range []eval.ConfigName{eval.Quagga, eval.ChordSmall, eval.HadoopSmall} {
+			sum, err := eval.AdversaryScenarios(cfgName, o, *advK, behaviors)
+			if err != nil {
+				log.Fatalf("%s: %v", cfgName, err)
+			}
+			for _, r := range sum.Rows {
+				fmt.Println(" ", r)
+			}
+			fmt.Printf("  %s: detection-rate=%.2f false-accusations=%d\n",
+				cfgName, sum.DetectionRate(), sum.FalseAccusations())
+			if sum.FalseAccusations() != 0 {
+				fmt.Fprintf(os.Stderr, "  ACCURACY VIOLATION: %s implicated honest nodes\n", cfgName)
+				violated = true
+			}
+			if sum.DetectionRate() != 1.0 {
+				fmt.Fprintf(os.Stderr, "  DETECTION VIOLATION: %s missed a non-benign behavior\n", cfgName)
+				violated = true
+			}
+		}
+		if violated {
+			// log.Fatal, like every other failure in this command (defers are
+			// skipped either way on the fatal paths).
+			log.Fatal("adversary scenarios violated the detection guarantee")
+		}
+		return
+	}
 
 	if *fig == "retention" {
 		// The §5.6 long-retention scenario: a store-backed run (Figure 6

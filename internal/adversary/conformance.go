@@ -1,0 +1,311 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/apps/bgp"
+	"repro/internal/apps/chord"
+	"repro/internal/apps/mincost"
+	"repro/internal/core"
+	"repro/internal/provgraph"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// App is one application configuration the conformance suite runs behaviors
+// against. Deploy builds the workload on a fresh network (the same seed and
+// schedule every time, so the adversary-free run is a deterministic
+// baseline); Compromised names the node(s) a behavior is armed on.
+type App struct {
+	Name        string
+	Horizon     types.Time
+	Compromised []types.NodeID
+	Deploy      func(net *simnet.Net, seed int64) error
+	// NewQuerier builds the application's query session (BGP installs its
+	// maybe-rule validator); nil uses Factory directly.
+	NewQuerier func(net *simnet.Net) *core.Querier
+}
+
+// MinCostApp is the paper's running example (§3.3, Figure 2): five routers,
+// router b compromised.
+func MinCostApp() App {
+	return App{
+		Name:        "mincost",
+		Horizon:     30 * types.Second,
+		Compromised: []types.NodeID{"b"},
+		Deploy: func(net *simnet.Net, seed int64) error {
+			return mincost.Deploy(net, mincost.Figure2Topology, types.Second)
+		},
+		NewQuerier: func(net *simnet.Net) *core.Querier {
+			return net.NewQuerier(mincost.Factory())
+		},
+	}
+}
+
+// QuaggaApp is a small trace-driven BGP network (§7.1's Quagga shape) with
+// the regional provider as30 compromised.
+func QuaggaApp() App {
+	horizon := 20 * types.Second
+	return App{
+		Name:        "quagga",
+		Horizon:     horizon,
+		Compromised: []types.NodeID{"as30"},
+		Deploy: func(net *simnet.Net, seed int64) error {
+			d, err := bgp.Deploy(net, bgp.DefaultTopology(), types.Second, horizon)
+			if err != nil {
+				return err
+			}
+			stubs := []types.NodeID{"as51", "as52", "as53", "as61", "as62", "as63"}
+			trace := workload.BGPTrace(seed, 40, len(stubs), 50)
+			for i, u := range trace {
+				u := u
+				at := types.Second + types.Time(int64(i))*(horizon-6*types.Second)/types.Time(len(trace))
+				stub := stubs[u.Origin]
+				net.AtNode(stub, at, func() {
+					sp := d.Speakers[stub]
+					if u.Withdraw {
+						sp.Withdraw(net.Node(stub), u.Prefix)
+					} else {
+						sp.Announce(net.Node(stub), u.Prefix)
+					}
+				})
+			}
+			return nil
+		},
+		NewQuerier: func(net *simnet.Net) *core.Querier {
+			q := net.NewQuerier(bgp.Factory())
+			q.Auditor.Builder.MaybeValidator = bgp.ValidateExport
+			return q
+		},
+	}
+}
+
+// ChordApp is a 12-node Chord ring (§7.1's Chord configuration, scaled
+// down) with one ring member compromised.
+func ChordApp() App {
+	return App{
+		Name:        "chord",
+		Horizon:     30 * types.Second,
+		Compromised: []types.NodeID{chord.NodeName(3)},
+		Deploy: func(net *simnet.Net, seed int64) error {
+			p := chord.DefaultParams(12)
+			p.Duration = 30 * types.Second
+			p.Lookups = 24
+			_, err := chord.Deploy(net, p)
+			return err
+		},
+		NewQuerier: func(net *simnet.Net) *core.Querier {
+			return net.NewQuerier(chord.Factory())
+		},
+	}
+}
+
+// Apps returns the conformance application set in a fixed order.
+func Apps() []App {
+	return []App{MinCostApp(), QuaggaApp(), ChordApp()}
+}
+
+// Query is one provenance question re-asked across runs.
+type Query struct {
+	Node  types.NodeID
+	Tuple types.Tuple
+	Opts  core.QueryOpts
+}
+
+func (q Query) String() string { return fmt.Sprintf("%s?%s", q.Node, q.Tuple) }
+
+// Baseline is one adversary-free reference run: the honest queries it
+// picked and their rendered answers.
+type Baseline struct {
+	Queries []Query
+	Answers []string
+}
+
+// maxQueries bounds how many honest-node queries a conformance run
+// compares.
+const maxQueries = 3
+
+// run deploys the app on a fresh network (arming plan, if any), runs it to
+// the horizon, and returns the network.
+func (a App) run(seed int64, plan Plan) (*simnet.Net, error) {
+	cfg := simnet.DefaultConfig()
+	cfg.Seed = seed
+	if plan != nil {
+		cfg.OnNode = plan.Hook()
+	}
+	net := simnet.New(cfg)
+	if err := a.Deploy(net, seed); err != nil {
+		return nil, err
+	}
+	net.Run(a.Horizon)
+	return net, nil
+}
+
+// pickQueries selects up to maxQueries deterministic honest-node questions
+// from an audited baseline graph: for each honest node in sorted order, the
+// first open exist vertex (graph insertion order is deterministic).
+func pickQueries(q *core.Querier, honest []types.NodeID) []Query {
+	var out []Query
+	g := q.Auditor.Graph()
+	for _, id := range honest {
+		if len(out) >= maxQueries {
+			break
+		}
+		for _, v := range g.ByHost(id) {
+			if v.Type == provgraph.VExist && v.Open() {
+				out = append(out, Query{Node: id, Tuple: v.Tuple,
+					Opts: core.QueryOpts{Mode: core.ModeExist, Scope: 8}})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// answers evaluates the queries, rendering each explanation tree (colors,
+// notes, and timestamps included — the bit-identity the invariant compares)
+// or the error text when the query cannot be answered.
+func answers(q *core.Querier, queries []Query) []string {
+	out := make([]string, len(queries))
+	for i, qu := range queries {
+		expl, err := q.Explain(qu.Node, qu.Tuple, qu.Opts)
+		if err != nil {
+			out[i] = "error: " + err.Error()
+			continue
+		}
+		out[i] = expl.Format()
+	}
+	return out
+}
+
+// honestNodes returns the deployment's nodes minus the compromised set.
+func honestNodes(all, compromised []types.NodeID) []types.NodeID {
+	bad := nodeSet(compromised)
+	var out []types.NodeID
+	for _, id := range all {
+		if !bad[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RunBaseline executes the adversary-free reference run for (app, seed). It
+// fails if the honest run itself produces any evidence — the no-false-alarm
+// half of the accuracy guarantee.
+func (a App) RunBaseline(seed int64) (*Baseline, error) {
+	net, err := a.run(seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	q := a.NewQuerier(net)
+	v := AuditAll(q, net.Maintainer)
+	if len(v.Failures) != 0 || len(v.RedHosts) != 0 || len(v.Unresponsive) != 0 {
+		return nil, fmt.Errorf("adversary: honest %s/seed=%d run yields evidence: %v", a.Name, seed, v)
+	}
+	if len(v.Notes) != 0 {
+		return nil, fmt.Errorf("adversary: honest %s/seed=%d run reported missing acks: %v", a.Name, seed, v.Notes)
+	}
+	base := &Baseline{Queries: pickQueries(q, honestNodes(net.Nodes(), a.Compromised))}
+	if len(base.Queries) == 0 {
+		return nil, fmt.Errorf("adversary: %s/seed=%d baseline offers no honest queries", a.Name, seed)
+	}
+	base.Answers = answers(q, base.Queries)
+	return base, nil
+}
+
+// Result is one conformance run's outcome.
+type Result struct {
+	App      string
+	Behavior string
+	Class    Class
+	Seed     int64
+
+	Compromised      []types.NodeID
+	Verdict          *Verdict
+	Detected         bool
+	AnswersIdentical bool
+	// Violations lists every breach of the SNP invariant found in this run;
+	// a conforming implementation leaves it empty.
+	Violations []string
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-8s %-13s seed=%d class=%-9s detected=%-5v identical=%-5v %s",
+		r.App, r.Behavior, r.Seed, r.Class, r.Detected, r.AnswersIdentical, r.Verdict)
+}
+
+// RunConformance arms one behavior on the app's compromised nodes, repeats
+// the baseline's run and queries, and checks the detection-guarantee
+// invariant:
+//
+//   - accuracy, always: provable evidence (failures, red vertices) never
+//     implicates an honest node;
+//   - Provable behaviors: provable evidence implicates a compromised node;
+//   - Traceable behaviors: some evidence (provable or lead) implicates a
+//     compromised node, or every honest answer is bit-identical to the
+//     baseline;
+//   - Benign behaviors: no provable evidence, and every honest answer is
+//     bit-identical to the baseline.
+//
+// base may be nil, in which case the baseline is computed on the fly.
+func (a App) RunConformance(p Profile, seed int64, base *Baseline) (*Result, error) {
+	if base == nil {
+		var err error
+		if base, err = a.RunBaseline(seed); err != nil {
+			return nil, err
+		}
+	}
+	plan := Plan{}
+	for _, id := range a.Compromised {
+		plan[id] = []Behavior{p.New()}
+	}
+	net, err := a.run(seed, plan)
+	if err != nil {
+		return nil, err
+	}
+	q := a.NewQuerier(net)
+	v := AuditAll(q, net.Maintainer)
+	got := answers(q, base.Queries)
+	v.Refresh(q, net.Maintainer) // queries may have appended evidence
+
+	r := &Result{App: a.Name, Behavior: p.Name, Class: p.Class, Seed: seed,
+		Compromised: a.Compromised, Verdict: v, Detected: v.Detected(a.Compromised)}
+	r.AnswersIdentical = len(got) == len(base.Answers)
+	for i := range got {
+		if got[i] != base.Answers[i] {
+			r.AnswersIdentical = false
+			break
+		}
+	}
+
+	if accused := v.FalselyAccused(a.Compromised); len(accused) != 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("provable evidence implicates honest nodes %v", accused))
+	}
+	switch p.Class {
+	case Provable:
+		if len(v.StrongNodes()) == 0 {
+			r.Violations = append(r.Violations, "no provable evidence for a provable behavior")
+		}
+	case Traceable:
+		if !r.Detected && !r.AnswersIdentical {
+			r.Violations = append(r.Violations,
+				"honest answers diverged but no evidence implicates a compromised node")
+		}
+	case Benign:
+		if len(v.StrongNodes()) != 0 {
+			r.Violations = append(r.Violations, "benign behavior produced provable evidence")
+		}
+		if !r.AnswersIdentical {
+			r.Violations = append(r.Violations, "benign behavior perturbed honest answers")
+		}
+	}
+	// The invariant's either/or, independent of class expectations: evidence
+	// implicating a compromised node, or bit-identical honest answers.
+	if !r.Detected && !r.AnswersIdentical {
+		r.Violations = append(r.Violations, "neither evidence nor unchanged honest answers")
+	}
+	return r, nil
+}

@@ -1,0 +1,69 @@
+package adversary_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+// conformanceSeeds returns the seed set the suite runs. The full matrix is
+// seeds 1..3; -short trims to one seed, and SNP_CONFORMANCE_SEED pins a
+// single seed (the CI matrix shards the suite that way).
+func conformanceSeeds(t *testing.T) []int64 {
+	if env := os.Getenv("SNP_CONFORMANCE_SEED"); env != "" {
+		s, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SNP_CONFORMANCE_SEED %q: %v", env, err)
+		}
+		return []int64{s}
+	}
+	if testing.Short() {
+		return []int64{1}
+	}
+	return []int64{1, 2, 3}
+}
+
+func conformanceApps(t *testing.T) []adversary.App {
+	apps := adversary.Apps()
+	if testing.Short() {
+		return apps[:2] // mincost + quagga; chord is the slowest deployment
+	}
+	return apps
+}
+
+// TestConformance pins the paper's detection guarantee: every behavior in
+// the adversary library, across every conformance app and seed, either
+// yields evidence implicating only compromised nodes or leaves the honest
+// nodes' provenance answers bit-identical to the adversary-free baseline.
+func TestConformance(t *testing.T) {
+	for _, app := range conformanceApps(t) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for _, seed := range conformanceSeeds(t) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					base, err := app.RunBaseline(seed)
+					if err != nil {
+						t.Fatalf("baseline: %v", err)
+					}
+					for _, p := range adversary.Catalog() {
+						p := p
+						t.Run(p.Name, func(t *testing.T) {
+							res, err := app.RunConformance(p, seed, base)
+							if err != nil {
+								t.Fatalf("conformance run: %v", err)
+							}
+							t.Log(res)
+							for _, v := range res.Violations {
+								t.Errorf("invariant violated: %s", v)
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package adversary
+
+import (
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Corpus is a deterministic set of wire encodings covering the attack
+// surfaces adversaries exercise: log entries (honest and doctored),
+// retrieved segments (intact, tampered, truncated), and the audit-protocol
+// requests and responses. The native fuzz targets seed from it, so every
+// shape a behavior in this package can put on the wire is also a fuzzing
+// starting point.
+type Corpus struct {
+	Entries   [][]byte
+	Segments  [][]byte
+	Requests  [][]byte
+	Responses [][]byte
+}
+
+// WireCorpus builds the corpus. It is pure: the same bytes every call.
+func WireCorpus() Corpus {
+	tup := types.MakeTuple("cost", types.N("a"), types.N("d"), types.N("b"), types.I(5))
+	msg := types.Message{Src: "b", Dst: "a", Pol: types.PolAppear, Tuple: tup, SendTime: 7 * types.Second, Seq: 3}
+	forged := msg
+	forged.Tuple = MutateTuple(tup)
+	forged.Seq += 1 << 20
+
+	ckpt := seclog.BuildCheckpoint(cryptoutil.Ed25519SHA256, nil, []byte("machine-state"),
+		[]seclog.ExtantItem{{
+			Tuple: tup, Appeared: 2 * types.Second, Local: true,
+			Believed: []seclog.BelievedRecord{{Origin: "b", Since: 3 * types.Second}},
+		}})
+
+	entries := []*seclog.Entry{
+		{T: types.Second, Type: seclog.EIns, Tuple: tup},
+		{T: types.Second, Type: seclog.EIns, Tuple: MutateTuple(tup),
+			MaybeRule: "R9", MaybeBody: []types.Tuple{tup}, Replaces: []types.Tuple{tup}},
+		{T: 2 * types.Second, Type: seclog.EDel, Tuple: tup},
+		{T: 3 * types.Second, Type: seclog.ESnd, Msgs: []types.Message{msg, forged}},
+		{T: 4 * types.Second, Type: seclog.ERcv, Msgs: []types.Message{msg},
+			PeerPrevHash: []byte{1, 2, 3}, PeerTime: 3 * types.Second, PeerSig: []byte{4, 5}, PeerSeq: 9},
+		{T: 5 * types.Second, Type: seclog.EAck, AckIDs: []types.MessageID{msg.ID()},
+			PeerPrevHash: []byte{6}, PeerTime: 4 * types.Second, PeerSig: []byte{7}, PeerSeq: 10,
+			EnvSig: []byte{8, 9}},
+		{T: 6 * types.Second, Type: seclog.ECkpt, Ckpt: ckpt},
+	}
+
+	var c Corpus
+	for _, e := range entries {
+		c.Entries = append(c.Entries, wire.Encode(e))
+	}
+
+	seg := &seclog.SegmentData{Node: "b", From: 1, BaseHash: []byte("base"), Entries: entries}
+	c.Segments = append(c.Segments, wire.Encode(seg))
+	truncated := &seclog.SegmentData{Node: "b", From: 1, BaseHash: []byte("base"), Entries: entries[:3]}
+	c.Segments = append(c.Segments, wire.Encode(truncated))
+	c.Segments = append(c.Segments, wire.Encode(&seclog.SegmentData{Node: "b", From: 0}))
+
+	auth := seclog.Authenticator{Node: "b", Seq: 7, T: 6 * types.Second,
+		Hash: []byte("head-hash"), Sig: []byte("signature")}
+	c.Requests = append(c.Requests,
+		wire.Encode(core.RetrieveRequest{Auth: auth, StartTime: types.Second, EndTime: 9 * types.Second}),
+		wire.Encode(core.RetrieveRequest{Auth: seclog.Authenticator{Node: "b", Seq: ^uint64(0)}}),
+	)
+	c.Responses = append(c.Responses,
+		wire.Encode(core.RetrieveResponse{Segment: seg, NewAuth: &auth}),
+		wire.Encode(core.RetrieveResponse{Segment: truncated}),
+	)
+	return c
+}

@@ -1,0 +1,146 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/provgraph"
+	"repro/internal/types"
+)
+
+// Verdict is everything a full audit of a deployment surfaced, separated
+// into the paper's evidence tiers: provable evidence (audit failures and
+// red vertices, which must only ever implicate compromised nodes) and
+// unattributable leads (unresponsive nodes, missing-ack reports, yellow
+// vertices on compromised nodes' exchanges).
+type Verdict struct {
+	// Failures are the auditor's provable findings (§5.5).
+	Failures []core.Failure
+	// RedHosts hosts at least one red vertex in the reconstructed graph.
+	RedHosts []types.NodeID
+	// Unresponsive maps nodes that failed to answer audits to the error.
+	Unresponsive map[types.NodeID]error
+	// Notes are the maintainer's missing-ack reports (§5.4).
+	Notes []core.MissingAckNote
+}
+
+// StrongNodes returns the nodes implicated by provable evidence, sorted.
+func (v *Verdict) StrongNodes() []types.NodeID {
+	seen := map[types.NodeID]bool{}
+	for _, f := range v.Failures {
+		seen[f.Node] = true
+	}
+	for _, h := range v.RedHosts {
+		seen[h] = true
+	}
+	return sortedNodeSet(seen)
+}
+
+// LeadNodes returns the nodes involved in unattributable leads, sorted: the
+// unresponsive set plus both endpoints of every reported missing ack. Leads
+// may legitimately involve honest nodes (a missing ack implicates an
+// exchange, not an endpoint), so they are matched against the compromised
+// set rather than held to the accuracy bar.
+func (v *Verdict) LeadNodes() []types.NodeID {
+	seen := map[types.NodeID]bool{}
+	for id := range v.Unresponsive {
+		seen[id] = true
+	}
+	for _, n := range v.Notes {
+		seen[n.ID.Src] = true
+		seen[n.ID.Dst] = true
+	}
+	return sortedNodeSet(seen)
+}
+
+// Detected reports whether any evidence — provable or lead — implicates a
+// node in the compromised set.
+func (v *Verdict) Detected(compromised []types.NodeID) bool {
+	bad := nodeSet(compromised)
+	for _, n := range v.StrongNodes() {
+		if bad[n] {
+			return true
+		}
+	}
+	for _, n := range v.LeadNodes() {
+		if bad[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// FalselyAccused returns honest nodes implicated by *provable* evidence —
+// the accuracy guarantee (Theorem 5) demands this is always empty.
+func (v *Verdict) FalselyAccused(compromised []types.NodeID) []types.NodeID {
+	bad := nodeSet(compromised)
+	var out []types.NodeID
+	for _, n := range v.StrongNodes() {
+		if !bad[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (v *Verdict) String() string {
+	return fmt.Sprintf("failures=%d redHosts=%v unresponsive=%d notes=%d",
+		len(v.Failures), v.RedHosts, len(v.Unresponsive), len(v.Notes))
+}
+
+func nodeSet(ids []types.NodeID) map[types.NodeID]bool {
+	m := make(map[types.NodeID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func sortedNodeSet(seen map[types.NodeID]bool) []types.NodeID {
+	out := make([]types.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuditAll audits every node of the deployment through q — retrieve,
+// verify, replay, quiescence finalization, and the §5.5 consistency check
+// over all peer-held authenticators — and assembles the Verdict. maint may
+// be nil. The audit order is the sorted node order, so verdicts are
+// deterministic.
+func AuditAll(q *core.Querier, maint *core.Maintainer) *Verdict {
+	v := &Verdict{Unresponsive: make(map[types.NodeID]error)}
+	nodes := q.Fetch.Nodes()
+	for _, id := range nodes {
+		if err := q.EnsureAudited(id, 0); err != nil {
+			v.Unresponsive[id] = err
+		}
+	}
+	q.Auditor.Finalize()
+	// The §5.5 consistency check: every authenticator any peer holds about
+	// a node must lie on the chain that node presented.
+	for _, target := range nodes {
+		for _, peer := range nodes {
+			if peer == target {
+				continue
+			}
+			for _, a := range q.Fetch.AuthsAbout(peer, target, 0, types.Time(math.MaxInt64)) {
+				q.Auditor.CheckAuthenticator(a)
+			}
+		}
+	}
+	v.Refresh(q, maint)
+	return v
+}
+
+// Refresh re-snapshots the evidence that later queries may have extended
+// (macroqueries run further consistency checks, which can append failures).
+func (v *Verdict) Refresh(q *core.Querier, maint *core.Maintainer) {
+	v.Failures = q.Auditor.Failures()
+	v.RedHosts = q.Auditor.Graph().HostsWithColor(provgraph.Red)
+	v.Notes = maint.Notes()
+}

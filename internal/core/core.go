@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cryptoutil"
@@ -156,6 +157,42 @@ func (m *Maintainer) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.notes)
+}
+
+// MissingAckNote is one recorded §5.4 report: Reporter never received an
+// acknowledgment for ID. A note implicates the exchange, not a single node
+// (the receiver may have withheld the ack, or the channel may have failed);
+// it is a lead for the maintainer, not provable evidence.
+type MissingAckNote struct {
+	Reporter types.NodeID
+	ID       types.MessageID
+}
+
+// Notes returns every recorded notification, sorted by (Reporter, ID).
+func (m *Maintainer) Notes() []MissingAckNote {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MissingAckNote, 0, len(m.notes))
+	for k := range m.notes {
+		out = append(out, MissingAckNote{Reporter: k.reporter, ID: k.id})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Reporter != b.Reporter {
+			return a.Reporter < b.Reporter
+		}
+		if a.ID.Src != b.ID.Src {
+			return a.ID.Src < b.ID.Src
+		}
+		if a.ID.Dst != b.ID.Dst {
+			return a.ID.Dst < b.ID.Dst
+		}
+		return a.ID.Seq < b.ID.Seq
+	})
+	return out
 }
 
 // ExtantsOf extracts checkpointable state from a machine, converting to

@@ -49,14 +49,30 @@ type Node struct {
 	lastEntryT types.Time
 	lastCkpt   types.Time
 
-	// Fault-injection hooks; nil on correct nodes. Tamper rewrites the
-	// machine's outputs before they are logged and sent (a compromised
-	// primary system); DropSend suppresses matching messages entirely
-	// (passive evasion); RefuseAudit makes the node ignore retrieve
-	// requests (yields yellow vertices).
+	// Fault-injection hooks; nil on correct nodes (the adversary framework
+	// in internal/adversary arms them — honest code paths never fork on
+	// them). Tamper rewrites the machine's outputs before they are logged
+	// and sent (a compromised primary system); DropSend suppresses matching
+	// messages entirely (passive evasion); RefuseAudit makes the node
+	// ignore retrieve requests (yields yellow vertices).
 	Tamper      func(ev types.Event, outs []types.Output) []types.Output
 	DropSend    func(m types.Message) bool
 	RefuseAudit bool
+
+	// TamperPacket intercepts every outgoing packet — envelopes, acks,
+	// retransmissions — just before transmission. The returned packets are
+	// sent in order: an empty result suppresses the transmission, a
+	// modified packet models wire-level forgery (equivocation, signature
+	// stripping), and extra packets model replayed traffic. The log entries
+	// recording the exchange are already written, exactly like a
+	// compromised node whose network stack lies about what it transmitted.
+	TamperPacket func(dst types.NodeID, pkt *Packet) []*Packet
+
+	// TamperRetrieve rewrites the node's answers to retrieve requests: a
+	// compromised node serving a doctored or truncated log to auditors. It
+	// runs after the honest response is assembled; implementations must not
+	// mutate the response's shared entries in place (copy before editing).
+	TamperRetrieve func(req RetrieveRequest, resp *RetrieveResponse) (*RetrieveResponse, error)
 
 	// DropCount counts messages suppressed via DropSend.
 	DropCount int
@@ -144,6 +160,27 @@ func (n *Node) Err() error {
 		return n.failure
 	}
 	return n.Log.Err()
+}
+
+// Suite exposes the node's crypto suite (behavior injection needs it to
+// forge chain hashes the way the node itself would compute them).
+func (n *Node) Suite() cryptoutil.Suite { return n.suite }
+
+// send transmits one packet, diverting through the TamperPacket hook on
+// compromised nodes.
+func (n *Node) send(dst types.NodeID, pkt *Packet) {
+	if n.net == nil {
+		return
+	}
+	if n.TamperPacket == nil {
+		n.net.Send(n.ID, dst, pkt)
+		return
+	}
+	for _, p := range n.TamperPacket(dst, pkt) {
+		if p != nil {
+			n.net.Send(n.ID, dst, p)
+		}
+	}
 }
 
 // now returns the node's clock, forced monotonic so log entry timestamps
@@ -306,9 +343,7 @@ func (n *Node) flush(dst types.NodeID) error {
 	if i, found := slices.BinarySearchFunc(n.outOrder, id, cmpOutID); !found {
 		n.outOrder = slices.Insert(n.outOrder, i, id)
 	}
-	if n.net != nil {
-		n.net.Send(n.ID, dst, &Packet{Kind: PktEnvelope, Envelope: env})
-	}
+	n.send(dst, &Packet{Kind: PktEnvelope, Envelope: env})
 	return nil
 }
 
@@ -364,11 +399,9 @@ func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
 	for i := range env.Msgs {
 		ids[i] = env.Msgs[i].ID()
 	}
-	if n.net != nil {
-		n.net.Send(n.ID, from, &Packet{Kind: PktAck, Ack: &Ack{
-			IDs: ids, PrevHash: hyPrev, T: t, Sig: sig, Seq: y,
-		}})
-	}
+	n.send(from, &Packet{Kind: PktAck, Ack: &Ack{
+		IDs: ids, PrevHash: hyPrev, T: t, Sig: sig, Seq: y,
+	}})
 	// Feed the messages to the machine, in envelope order.
 	var stepErr error
 	for i := range env.Msgs {
@@ -452,12 +485,19 @@ func (n *Node) Tick() error {
 		age := t - pend.sent
 		if age > n.cfg.Tprop && !pend.retried && n.net != nil {
 			pend.retried = true
-			n.net.Send(n.ID, pend.dst, &Packet{Kind: PktEnvelope, Envelope: pend.env})
+			n.send(pend.dst, &Packet{Kind: PktEnvelope, Envelope: pend.env})
 		}
 		if age > 2*n.cfg.Tprop && !pend.notified {
 			pend.notified = true
 			if n.maintainer != nil {
-				n.maintainer.NotifyMissingAck(n.ID, id)
+				// The whole envelope is unacknowledged: report every message
+				// in it, not just the envelope's identifying first message —
+				// the audit's missing-ack bookkeeping is per message, and a
+				// partially reported batch would leave the unreported ones
+				// looking like the sender hid them.
+				for i := range pend.env.Msgs {
+					n.maintainer.NotifyMissingAck(n.ID, pend.env.Msgs[i].ID())
+				}
 			}
 		}
 	}
@@ -562,6 +602,9 @@ func (n *Node) HandleRetrieve(req RetrieveRequest) (*RetrieveResponse, error) {
 			return nil, err
 		}
 		resp.NewAuth = &auth
+	}
+	if n.TamperRetrieve != nil {
+		return n.TamperRetrieve(req, resp)
 	}
 	return resp, nil
 }

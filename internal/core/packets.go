@@ -149,6 +149,23 @@ type RetrieveRequest struct {
 	EndTime   types.Time
 }
 
+// MarshalWire implements wire.Marshaler.
+func (r RetrieveRequest) MarshalWire(w *wire.Writer) {
+	r.Auth.MarshalWire(w)
+	w.Int(int64(r.StartTime))
+	w.Int(int64(r.EndTime))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *RetrieveRequest) UnmarshalWire(rd *wire.Reader) error {
+	if err := r.Auth.UnmarshalWire(rd); err != nil {
+		return err
+	}
+	r.StartTime = types.Time(rd.Int())
+	r.EndTime = types.Time(rd.Int())
+	return rd.Err()
+}
+
 // RetrieveResponse carries the answer to a RetrieveRequest.
 type RetrieveResponse struct {
 	Segment *seclog.SegmentData
@@ -158,7 +175,36 @@ type RetrieveResponse struct {
 	NewAuth *seclog.Authenticator
 }
 
-// WireSize returns the response's encoded size (counted as query download).
+// MarshalWire implements wire.Marshaler. Since the segment encoding became
+// symmetric (checkpoint entries travel with their full payload), a response
+// round-trips across a process boundary with no payload side channel.
+func (r RetrieveResponse) MarshalWire(w *wire.Writer) {
+	r.Segment.MarshalWire(w)
+	if r.NewAuth != nil {
+		w.Bool(true)
+		r.NewAuth.MarshalWire(w)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *RetrieveResponse) UnmarshalWire(rd *wire.Reader) error {
+	r.Segment = new(seclog.SegmentData)
+	if err := r.Segment.UnmarshalWire(rd); err != nil {
+		return err
+	}
+	if rd.Bool() {
+		r.NewAuth = new(seclog.Authenticator)
+		if err := r.NewAuth.UnmarshalWire(rd); err != nil {
+			return err
+		}
+	}
+	return rd.Err()
+}
+
+// WireSize returns the response's encoded size (the bytes a remote querier
+// actually downloads; query metrics account the §5.6 digest form instead).
 func (r *RetrieveResponse) WireSize() int {
 	n := r.Segment.WireSize()
 	if r.NewAuth != nil {

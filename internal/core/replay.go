@@ -385,13 +385,13 @@ func (p *prep) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
 	// implied chain position is also recorded for the equivocation check.
 	sndEntry := &seclog.Entry{T: e.PeerTime, Type: seclog.ESnd, Msgs: e.Msgs}
 	hx := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, sndEntry)
+	implied := false
 	if pub, err := a.dir.Key(src); err != nil {
 		p.fail(node, seq, "rcv from unknown node %s", src)
 	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hx, e.PeerSig) {
 		p.fail(node, seq, "rcv entry carries an invalid signature from %s", src)
 	} else {
-		p.ops = append(p.ops, replayOp{kind: opImplied, node: src, seq: e.PeerSeq,
-			commit: &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs}})
+		implied = true
 	}
 	for j := range e.Msgs {
 		msg := e.Msgs[j]
@@ -406,6 +406,15 @@ func (p *prep) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
 		// the ack transmission (acks are implicit in the log, §5.4).
 		p.handleEvent(types.Event{Kind: types.EvSnd, Node: node, Time: e.T,
 			AckID: &id, AckTime: e.T})
+	}
+	// The implied commitment is recorded after this entry's own events: if
+	// the position proves an equivocation, handle-extra-msg must see the
+	// receives this very entry legitimately logged (they are evidence
+	// *against the sender*, and flagging them red would accuse the honest
+	// receiver — Theorem 5 forbids that).
+	if implied {
+		p.ops = append(p.ops, replayOp{kind: opImplied, node: src, seq: e.PeerSeq,
+			commit: &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs}})
 	}
 }
 
@@ -425,18 +434,25 @@ func (p *prep) replayAck(node types.NodeID, seq uint64, e *seclog.Entry) {
 	rcvEntry := &seclog.Entry{T: e.PeerTime, Type: seclog.ERcv, Msgs: pend.msgs,
 		PeerPrevHash: pend.prevHash, PeerTime: pend.t, PeerSig: e.EnvSig, PeerSeq: pend.seq}
 	hy := seclog.ChainHash(a.suite, a.Stats, e.PeerPrevHash, rcvEntry)
+	implied := false
 	if pub, err := a.dir.Key(dst); err != nil {
 		p.fail(node, seq, "ack from unknown node %s", dst)
 	} else if !seclog.VerifyCommitment(a.Stats, pub, e.PeerTime, hy, e.PeerSig) {
 		p.fail(node, seq, "ack entry carries an invalid signature from %s", dst)
 	} else {
-		p.ops = append(p.ops, replayOp{kind: opImplied, node: dst, seq: e.PeerSeq,
-			commit: &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs}})
+		implied = true
 	}
 	for i := range e.AckIDs {
 		id := e.AckIDs[i]
 		p.handleEvent(types.Event{Kind: types.EvRcv, Node: node, Time: e.T,
 			AckID: &id, AckTime: e.PeerTime})
+	}
+	// Recorded after the ack events for the same reason as in replayRcv:
+	// the receive vertices the ack proves must exist before a conflict on
+	// this position reaches handle-extra-msg.
+	if implied {
+		p.ops = append(p.ops, replayOp{kind: opImplied, node: dst, seq: e.PeerSeq,
+			commit: &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs}})
 	}
 }
 

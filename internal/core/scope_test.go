@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/apps/mincost"
+	"repro/internal/core"
+	"repro/internal/provgraph"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// figure2 runs the MinCost network to quiescence, optionally arming a plan.
+func figure2(t *testing.T, plan adversary.Plan) *simnet.Net {
+	t.Helper()
+	cfg := simnet.DefaultConfig()
+	cfg.Seed = 1
+	if plan != nil {
+		cfg.OnNode = plan.Hook()
+	}
+	net := simnet.New(cfg)
+	if err := mincost.Deploy(net, mincost.Figure2Topology, types.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(30 * types.Second)
+	return net
+}
+
+func TestBeginAuditScopeEmpty(t *testing.T) {
+	net := figure2(t, nil)
+	q := net.NewQuerier(mincost.Factory())
+	q.Parallelism = 4
+	// An empty scope must not start workers, and auditing must still work
+	// through the sequential path.
+	q.BeginAuditScope(nil, 0)
+	if err := q.EnsureAudited("b", 0); err != nil {
+		t.Fatalf("EnsureAudited after empty scope: %v", err)
+	}
+	if !q.Auditor.Audited("b") {
+		t.Error("node not audited")
+	}
+	q.CloseScope()
+}
+
+func TestCloseScopeIsIdempotent(t *testing.T) {
+	net := figure2(t, nil)
+	q := net.NewQuerier(mincost.Factory())
+	q.Parallelism = 4
+	// Close with no scope active: no-op.
+	q.CloseScope()
+	q.BeginAuditScope(net.Nodes(), 0)
+	q.CloseScope()
+	q.CloseScope() // double close: no panic, no deadlock
+	// A fresh scope after closing still works, and Begin closes any
+	// previous scope itself.
+	q.BeginAuditScope(net.Nodes(), 0)
+	q.BeginAuditScope(net.Nodes(), 0)
+	if err := q.EnsureAudited("c", 0); err != nil {
+		t.Fatalf("EnsureAudited in reopened scope: %v", err)
+	}
+	q.CloseScope()
+}
+
+func TestAuditFailureMidScope(t *testing.T) {
+	// One node in the scope serves a doctored log: its prepared audit must
+	// fail with recorded evidence while the rest of the scope commits
+	// normally, and re-demanding the failed node must not panic or flip it
+	// to audited.
+	net := figure2(t, adversary.Plan{"b": {adversary.TamperLog()}})
+	q := net.NewQuerier(mincost.Factory())
+	q.Parallelism = 4
+	q.BeginAuditScope(net.Nodes(), 0)
+	defer q.CloseScope()
+	for _, id := range net.Nodes() {
+		if err := q.EnsureAudited(id, 0); err != nil {
+			t.Fatalf("EnsureAudited(%s): %v", id, err)
+		}
+	}
+	if !q.Auditor.NodeFailed("b") {
+		t.Error("doctored log not recorded as failure")
+	}
+	if q.Auditor.Audited("b") {
+		t.Error("doctored log counted as audited")
+	}
+	for _, id := range []types.NodeID{"a", "c", "d", "e"} {
+		if !q.Auditor.Audited(id) {
+			t.Errorf("honest node %s not audited", id)
+		}
+		if q.Auditor.NodeFailed(id) {
+			t.Errorf("honest node %s failed", id)
+		}
+	}
+	// Re-demand: the failure stands, nothing panics.
+	if err := q.EnsureAudited("b", 0); err != nil {
+		t.Fatalf("re-demanding failed node: %v", err)
+	}
+	if q.Auditor.Audited("b") {
+		t.Error("failed node became audited on re-demand")
+	}
+}
+
+func TestUnresponsiveNodeInScope(t *testing.T) {
+	net := figure2(t, adversary.Plan{"b": {adversary.RefuseAudits()}})
+	q := net.NewQuerier(mincost.Factory())
+	q.Parallelism = 4
+	q.BeginAuditScope(net.Nodes(), 0)
+	defer q.CloseScope()
+	err := q.EnsureAudited("b", 0)
+	if err == nil {
+		t.Fatal("refusing node audited without error")
+	}
+	// The refusal is cached: a second demand reports the same error
+	// without contacting the node again.
+	if err2 := q.EnsureAudited("b", 0); err2 == nil {
+		t.Fatal("cached refusal lost")
+	}
+	if q.Auditor.NodeFailed("b") {
+		t.Error("refusal recorded as provable failure (it is not provable)")
+	}
+}
+
+func TestFaultyNodesEdgeCases(t *testing.T) {
+	mk := func(host types.NodeID, c provgraph.Color, children ...*core.Explanation) *core.Explanation {
+		return &core.Explanation{Vertex: &provgraph.Vertex{Host: host}, Color: c, Children: children}
+	}
+	// No red anywhere: empty, not nil-sensitive.
+	if got := mk("a", provgraph.Black, mk("b", provgraph.Yellow)).FaultyNodes(); len(got) != 0 {
+		t.Errorf("FaultyNodes on clean tree = %v", got)
+	}
+	// Duplicates collapse and the result is sorted.
+	tree := mk("a", provgraph.Black,
+		mk("z", provgraph.Red),
+		mk("b", provgraph.Red, mk("z", provgraph.Red)),
+		mk("c", provgraph.Yellow))
+	got := tree.FaultyNodes()
+	if len(got) != 2 || got[0] != "b" || got[1] != "z" {
+		t.Errorf("FaultyNodes = %v, want [b z]", got)
+	}
+	// A red root counts too.
+	if got := mk("r", provgraph.Red).FaultyNodes(); len(got) != 1 || got[0] != "r" {
+		t.Errorf("FaultyNodes on red root = %v", got)
+	}
+}
+
+// TestFaultyNodesFromLiveQuery pins the end-to-end path: a forged
+// derivation on b yields an explanation whose FaultyNodes is exactly [b].
+func TestFaultyNodesFromLiveQuery(t *testing.T) {
+	net := figure2(t, adversary.Plan{"b": {adversary.Forge()}})
+	q := net.NewQuerier(mincost.Factory())
+	adversary.AuditAll(q, net.Maintainer)
+	expl, err := q.Explain("c", mincost.BestCost("c", "d", 5), core.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range expl.FaultyNodes() {
+		if f != "b" {
+			t.Errorf("faulty nodes include honest %s:\n%s", f, expl.Format())
+		}
+	}
+}

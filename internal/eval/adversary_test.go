@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+// TestAdversaryScenariosQuagga runs the scenario family on the Quagga
+// configuration: every non-benign behavior must be detected, and no
+// scenario may implicate an honest node.
+func TestAdversaryScenariosQuagga(t *testing.T) {
+	behaviors := adversary.Catalog()
+	if testing.Short() {
+		behaviors = behaviors[:5] // the provable tier
+	}
+	sum, err := AdversaryScenarios(Quagga, Options{Scale: 0.02}, 1, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sum.Rows {
+		t.Log(r)
+		if len(r.FalselyAccused) != 0 {
+			t.Errorf("%s: honest nodes accused: %v", r.Behavior, r.FalselyAccused)
+		}
+		if r.Class != adversary.Benign && !r.Detected {
+			t.Errorf("%s: not detected", r.Behavior)
+		}
+	}
+	if sum.FalseAccusations() != 0 {
+		t.Errorf("false accusations: %d", sum.FalseAccusations())
+	}
+	if rate := sum.DetectionRate(); rate != 1.0 {
+		t.Errorf("detection rate = %.2f, want 1.0", rate)
+	}
+}
+
+// TestAdversaryScenariosMultiNode compromises two nodes at once (k=2).
+func TestAdversaryScenariosMultiNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node scenario skipped in short mode")
+	}
+	p, _ := adversary.ProfileByName("forge")
+	sum, err := AdversaryScenarios(Quagga, Options{Scale: 0.02}, 2, []adversary.Profile{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Rows[0]
+	t.Log(r)
+	if len(r.Compromised) != 2 {
+		t.Fatalf("compromised = %v, want 2 nodes", r.Compromised)
+	}
+	if !r.Detected || len(r.FalselyAccused) != 0 {
+		t.Errorf("k=2 scenario: detected=%v falselyAccused=%v", r.Detected, r.FalselyAccused)
+	}
+}
+
+func TestCompromisedFor(t *testing.T) {
+	for _, cfg := range AllConfigs {
+		ids, err := CompromisedFor(cfg, "forge", 2)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if len(ids) != 2 {
+			t.Errorf("%s: got %v", cfg, ids)
+		}
+	}
+	// On Hadoop, acknowledgment attacks sit on the receiver side.
+	mids, _ := CompromisedFor(HadoopSmall, "forge", 1)
+	rids, _ := CompromisedFor(HadoopSmall, "withhold-acks", 1)
+	if mids[0] == rids[0] {
+		t.Errorf("Hadoop positions not behavior-aware: %v vs %v", mids, rids)
+	}
+	if _, err := CompromisedFor("nope", "forge", 1); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if _, err := SelectBehaviors("forge,dormant"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SelectBehaviors("bogus"); err == nil {
+		t.Error("unknown behavior accepted")
+	}
+}

@@ -102,6 +102,10 @@ type Options struct {
 	// serial reference scheduler, negative uses GOMAXPROCS. Every
 	// deterministic metric series is bit-identical across worker counts.
 	SimWorkers int
+	// OnNode is invoked with every node the deployment creates
+	// (simnet.Config.OnNode); the adversary scenario family uses it to
+	// compromise nodes at deploy time. Nil for honest runs.
+	OnNode func(*core.Node)
 }
 
 func (o Options) normalize() Options {
@@ -121,6 +125,7 @@ func (o Options) simCfg() simnet.Config {
 	cfg.Core.LogDir = o.LogDir
 	cfg.Core.LogHotTail = o.LogHotTail
 	cfg.Workers = o.SimWorkers
+	cfg.OnNode = o.OnNode
 	if o.Suite != nil {
 		cfg.Core.Suite = o.Suite
 	}

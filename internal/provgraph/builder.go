@@ -540,10 +540,20 @@ func (b *Builder) flagAllPending(i types.NodeID, t types.Time) {
 	}
 	if om := b.unacked[i]; om != nil && om.size() > 0 {
 		for _, id := range om.snapshot() {
-			if v2, _ := om.get(id); v2.T1 < t-2*b.tprop {
-				b.G.SetColor(v2, Red)
-				om.del(id)
+			v2, _ := om.get(id)
+			if v2.T1 >= t-2*b.tprop {
+				continue
 			}
+			if b.MissedAckKnown != nil && b.MissedAckKnown(i, id) {
+				// The sender reported the missing ack in time (§5.4): the
+				// fault lies with the receiver or the channel, and the send
+				// stays yellow — red here would accuse the honest sender,
+				// exactly what the report exists to prevent.
+				om.del(id)
+				continue
+			}
+			b.G.SetColor(v2, Red)
+			om.del(id)
 		}
 	}
 }
@@ -587,4 +597,3 @@ func (b *Builder) addReceiveVertex(m *types.Message, t types.Time) *Vertex {
 	_ = b.G.AddEdge(send, v1)
 	return v1
 }
-

@@ -136,37 +136,25 @@ func (e *Entry) marshalContent(w *wire.Writer) {
 	}
 }
 
-// MarshalWire implements wire.Marshaler (full entry, for transmission).
-// Note that for ECkpt entries the encoding carries only the checkpoint
-// digests (what the chain commits to and what the wire-size accounting
-// meters); marshalStored is the symmetric form the segment store persists.
+// MarshalWire implements wire.Marshaler: the symmetric transmission form
+// that UnmarshalWire inverts. Checkpoint entries carry their full payload
+// (MachineState and Items), so a SegmentData serialized across a process
+// boundary can be re-verified and replayed without a payload side channel.
+// The hash chain still commits only to the checkpoint digests
+// (marshalContent), and WireSize still meters the digest form — §5.6's
+// partial retrieval, where a querier downloads digests and fetches payload
+// items by Merkle proof on demand, is the size the figures account.
 func (e *Entry) MarshalWire(w *wire.Writer) {
 	w.Int(int64(e.T))
 	w.Byte(byte(e.Type))
-	e.marshalContent(w)
-}
-
-// marshalStored encodes the entry for the on-disk segment store: identical
-// to MarshalWire except that checkpoint entries carry their full payload,
-// so a recovered log can re-serve checkpoints (UnmarshalWire reads exactly
-// this form).
-func (e *Entry) marshalStored(w *wire.Writer) {
 	if e.Type == ECkpt {
-		w.Int(int64(e.T))
-		w.Byte(byte(e.Type))
 		e.Ckpt.MarshalWire(w)
 		return
 	}
-	e.MarshalWire(w)
+	e.marshalContent(w)
 }
 
-// UnmarshalWire implements wire.Unmarshaler. For ECkpt entries it reads the
-// full-payload (marshalStored) form; it is NOT the inverse of MarshalWire
-// for checkpoint entries, whose transmissible form carries digests only —
-// §5.6's partial retrieval fetches checkpoint payloads separately and
-// verifies them against the digests. A symmetric remote-retrieve encoding
-// is a noted follow-up; every in-process path hands segments around as
-// pointers and is unaffected.
+// UnmarshalWire implements wire.Unmarshaler (the inverse of MarshalWire).
 func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 	e.T = types.Time(r.Int())
 	e.Type = EntryType(r.Byte())
@@ -261,8 +249,20 @@ func checkCount(r *wire.Reader, n uint64) error {
 	return nil
 }
 
-// WireSize returns the encoded size of the entry in bytes.
-func (e *Entry) WireSize() int { return wire.Size(e) }
+// WireSize returns the metered size of the entry in bytes: what the chain
+// commits to, which for checkpoint entries is the digest-only form of §5.6's
+// partial retrieval (the form Figures 5, 6 and 8 account). MarshalWire now
+// carries the full checkpoint payload for cross-process symmetry, so the
+// two sizes differ for ECkpt entries; every other type is identical.
+func (e *Entry) WireSize() int {
+	w := wire.GetWriter()
+	w.Int(int64(e.T))
+	w.Byte(byte(e.Type))
+	e.marshalContent(w)
+	n := w.Len()
+	wire.PutWriter(w)
+	return n
+}
 
 // ---------------------------------------------------------------------------
 // Authenticators.
@@ -442,7 +442,7 @@ func (l *Log) Append(e *Entry) uint64 {
 	var size int64
 	if l.store != nil && l.storeErr == nil {
 		w := wire.GetWriter()
-		e.marshalStored(w)
+		e.MarshalWire(w)
 		size = int64(w.Len())
 		if err := l.store.append(w.Bytes()); err != nil {
 			// The store is dead from here on: stop writing (a gap would

@@ -192,6 +192,11 @@ type Config struct {
 	// Baseline disables all SNP machinery accounting except payload
 	// metering (used to measure the baseline system).
 	Baseline bool
+	// OnNode, when set, is invoked with every node AddNode creates — after
+	// registration, before any event executes. The adversary-injection
+	// framework (internal/adversary) uses it to arm Byzantine behaviors on
+	// compromised nodes at deploy time without forking any deploy code.
+	OnNode func(*core.Node)
 }
 
 // DefaultConfig returns simulator defaults consistent with §5.2's
@@ -363,6 +368,9 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 	if i, found := slices.BinarySearch(n.order, id); !found {
 		n.order = slices.Insert(n.order, i, id)
 		n.byOrder = slices.Insert(n.byOrder, i, sh)
+	}
+	if n.Cfg.OnNode != nil {
+		n.Cfg.OnNode(node)
 	}
 	return node, nil
 }

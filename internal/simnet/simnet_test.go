@@ -4,13 +4,23 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/apps/mincost"
 	"repro/internal/core"
 	"repro/internal/provgraph"
-	"repro/internal/seclog"
 	"repro/internal/simnet"
 	"repro/internal/types"
 )
+
+// compromise arms behaviors on node id through the adversary framework (the
+// one injection path; the ad-hoc hook pokes these tests used to do live in
+// internal/adversary now).
+func compromise(t *testing.T, net *simnet.Net, id types.NodeID, bs ...adversary.Behavior) {
+	t.Helper()
+	if err := adversary.Arm(net, adversary.Plan{id: bs}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // runMinCost deploys the Figure 2 network and runs it to convergence.
 func runMinCost(t *testing.T, mutate func(*simnet.Net)) *simnet.Net {
@@ -169,10 +179,9 @@ func TestSuppressionDetected(t *testing.T) {
 	// Router b silently drops its +cost advertisement to c (passive
 	// evasion). Replay of b's log must produce a red send vertex.
 	net := runMinCost(t, func(net *simnet.Net) {
-		b := net.Node("b")
-		b.DropSend = func(m types.Message) bool {
+		compromise(t, net, "b", adversary.Suppress(func(m types.Message) bool {
 			return m.Dst == "c" && m.Tuple.Rel == "cost"
-		}
+		}))
 	})
 	if net.Node("b").DropCount == 0 {
 		t.Fatal("fault injection dropped nothing")
@@ -198,18 +207,18 @@ func TestFabricationDetected(t *testing.T) {
 	// its own log is consistent, but replay with the correct machine shows
 	// the send was never derived (completeness, Theorem 6).
 	net := runMinCost(t, func(net *simnet.Net) {
-		b := net.Node("b")
 		injected := false
-		b.Tamper = func(ev types.Event, outs []types.Output) []types.Output {
-			if injected || ev.Kind != types.EvIns {
-				return outs
-			}
-			injected = true
-			forged := mincost.Cost("c", "d", "b", 1) // bogus: cost 1
-			msg := &types.Message{Src: "b", Dst: "c", Pol: types.PolAppear,
-				Tuple: forged, SendTime: ev.Time, Seq: 9999}
-			return append(outs, types.Output{Kind: types.OutSend, Msg: msg})
-		}
+		compromise(t, net, "b", adversary.TamperOutputs("forge-cheap-route",
+			func(ev types.Event, outs []types.Output) []types.Output {
+				if injected || ev.Kind != types.EvIns {
+					return outs
+				}
+				injected = true
+				forged := mincost.Cost("c", "d", "b", 1) // bogus: cost 1
+				msg := &types.Message{Src: "b", Dst: "c", Pol: types.PolAppear,
+					Tuple: forged, SendTime: ev.Time, Seq: 9999}
+				return append(outs, types.Output{Kind: types.OutSend, Msg: msg})
+			}))
 	})
 	// c believed the forged route and now reports an absurd bestCost.
 	q := net.NewQuerier(mincost.Factory())
@@ -235,7 +244,7 @@ func TestFabricationDetected(t *testing.T) {
 
 func TestRefusedAuditYieldsYellow(t *testing.T) {
 	net := runMinCost(t, func(net *simnet.Net) {
-		net.Node("b").RefuseAudit = true
+		compromise(t, net, "b", adversary.RefuseAudits())
 	})
 	q := net.NewQuerier(mincost.Factory())
 	expl, err := q.Explain("c", mincost.BestCost("c", "d", 5), core.QueryOpts{})
@@ -258,30 +267,22 @@ func TestRefusedAuditYieldsYellow(t *testing.T) {
 }
 
 func TestLogTamperDetected(t *testing.T) {
-	// After the run, b rewrites an entry in its log. The chain no longer
-	// matches the authenticators b has issued.
+	// After the run, b rewrites its history: every retrieved segment has an
+	// ins entry doctored. The chain no longer matches the authenticators b
+	// has issued, so the audit must fail with evidence against b.
 	net := runMinCost(t, nil)
+	compromise(t, net, "b", adversary.TamperLog())
 	q := net.NewQuerier(mincost.Factory())
-	auth, err := net.LatestAuth("b")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := net.Retrieve("b", core.RetrieveRequest{Auth: auth})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Corrupt one entry (equivalently: b rewrote its log after the fact).
-	for _, e := range resp.Segment.Entries {
-		if e.Type == seclog.EIns {
-			e.Tuple = mincost.Link("b", "c", 999)
-			break
-		}
-	}
-	if err := q.Auditor.Replay("b", resp, auth); err == nil {
-		t.Fatal("tampered segment accepted")
+	if err := q.EnsureAudited("b", 0); err != nil {
+		// The node answered (with a doctored log); the failure is recorded,
+		// not returned.
+		t.Fatalf("EnsureAudited: %v", err)
 	}
 	if !q.Auditor.NodeFailed("b") {
 		t.Error("tampering not recorded as failure")
+	}
+	if q.Auditor.Audited("b") {
+		t.Error("tampered log counted as audited")
 	}
 }
 
