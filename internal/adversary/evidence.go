@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/provgraph"
@@ -123,6 +124,51 @@ func AuditAll(q *core.Querier, maint *core.Maintainer) *Verdict {
 	q.Auditor.Finalize()
 	// The §5.5 consistency check: every authenticator any peer holds about
 	// a node must lie on the chain that node presented.
+	for _, target := range nodes {
+		for _, peer := range nodes {
+			if peer == target {
+				continue
+			}
+			for _, a := range q.Fetch.AuthsAbout(peer, target, 0, types.Time(math.MaxInt64)) {
+				q.Auditor.CheckAuthenticator(a)
+			}
+		}
+	}
+	v.Refresh(q, maint)
+	return v
+}
+
+// AuditUntil is AuditAll with retry-until-deadline semantics for live
+// networks: nodes that fail to answer are retried every retryEvery (their
+// sticky yellow state cleared between attempts) until they answer or the
+// deadline passes. Nodes still unresponsive at the deadline stay in the
+// Verdict's Unresponsive tier — unattributable leads, exactly what §4.2
+// allows the system to say about a peer it cannot reach. Finalization and
+// the §5.5 consistency sweep run once, after the retry loop settles.
+func AuditUntil(q *core.Querier, maint *core.Maintainer, deadline time.Time, retryEvery time.Duration) *Verdict {
+	v := &Verdict{Unresponsive: make(map[types.NodeID]error)}
+	nodes := q.Fetch.Nodes()
+	pending := nodes
+	for {
+		var again []types.NodeID
+		for _, id := range pending {
+			q.ForgetUnreachable(id)
+			if err := q.EnsureAudited(id, 0); err != nil {
+				v.Unresponsive[id] = err
+				again = append(again, id)
+			} else {
+				delete(v.Unresponsive, id)
+			}
+		}
+		if len(again) == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		pending = again
+		if wait := min(retryEvery, time.Until(deadline)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	q.Auditor.Finalize()
 	for _, target := range nodes {
 		for _, peer := range nodes {
 			if peer == target {

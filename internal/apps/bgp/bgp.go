@@ -393,10 +393,11 @@ type Deployment struct {
 	Names    []types.NodeID
 }
 
-// Deploy builds the networks on net. syncEvery controls how often each
-// speaker reconciles (the paper's Quagga reacts to updates; our speaker
-// polls the proxy state).
-func Deploy(net *simnet.Net, links []ASLink, syncEvery, duration types.Time) (*Deployment, error) {
+// Relations expands a link list into each network's view of its neighbors
+// (both directions, relationships inverted for the far side) — the
+// neighbor maps NewSpeaker takes. Harnesses that drive speakers over other
+// transports (the live-TCP cluster) build their deployments from this.
+func Relations(links []ASLink) map[types.NodeID]map[types.NodeID]Rel {
 	rels := map[types.NodeID]map[types.NodeID]Rel{}
 	addRel := func(a, b types.NodeID, r Rel) {
 		if rels[a] == nil {
@@ -408,6 +409,14 @@ func Deploy(net *simnet.Net, links []ASLink, syncEvery, duration types.Time) (*D
 		addRel(l.A, l.B, l.RelAB)
 		addRel(l.B, l.A, invert(l.RelAB))
 	}
+	return rels
+}
+
+// Deploy builds the networks on net. syncEvery controls how often each
+// speaker reconciles (the paper's Quagga reacts to updates; our speaker
+// polls the proxy state).
+func Deploy(net *simnet.Net, links []ASLink, syncEvery, duration types.Time) (*Deployment, error) {
+	rels := Relations(links)
 	names := make([]types.NodeID, 0, len(rels))
 	for n := range rels {
 		names = append(names, n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"cmp"
 	"fmt"
 	"slices"
@@ -49,6 +50,18 @@ type Node struct {
 	lastEntryT types.Time
 	lastCkpt   types.Time
 
+	// rcvSeen caches, per sender, the acks for recently received envelopes.
+	// Real networks deliver at-least-once (the commitment protocol
+	// retransmits after Tprop, and the retransmission can race the original
+	// plus its ack): a duplicate must replay the cached ack, not append a
+	// second rcv entry or step the machine twice.
+	rcvSeen map[types.NodeID]*rcvCache
+	// ackSeen remembers recently completed exchanges so the duplicate acks
+	// that at-least-once delivery produces are ignored, not reported as
+	// protocol violations.
+	ackSeen      map[types.MessageID]struct{}
+	ackSeenOrder []types.MessageID
+
 	// Fault-injection hooks; nil on correct nodes (the adversary framework
 	// in internal/adversary arms them — honest code paths never fork on
 	// them). Tamper rewrites the machine's outputs before they are logged
@@ -92,6 +105,48 @@ type pendingEnvelope struct {
 	notified bool
 }
 
+// rcvSeenCap bounds the per-peer duplicate-envelope cache; ackSeenCap bounds
+// the completed-exchange set. Both only need to cover the retransmission
+// window (one outstanding retry per envelope), so small FIFOs suffice.
+const (
+	rcvSeenCap = 64
+	ackSeenCap = 256
+)
+
+// rcvCache is one peer's recently-received-envelope window: for each
+// envelope sequence it keeps the sender's signature (to tell a true
+// duplicate from a forged reuse of the sequence number) and the ack that
+// answered it.
+type rcvCache struct {
+	acks  map[uint64]rcvSeenAck
+	order []uint64
+}
+
+type rcvSeenAck struct {
+	sig []byte
+	ack *Packet
+}
+
+func (c *rcvCache) lookup(env *Envelope) (*Packet, bool) {
+	got, ok := c.acks[env.Seq]
+	if !ok || !bytes.Equal(got.sig, env.Sig) {
+		return nil, false
+	}
+	return got.ack, true
+}
+
+func (c *rcvCache) remember(env *Envelope, ack *Packet) {
+	if c.acks == nil {
+		c.acks = make(map[uint64]rcvSeenAck)
+	}
+	if len(c.order) >= rcvSeenCap {
+		delete(c.acks, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.acks[env.Seq] = rcvSeenAck{sig: env.Sig, ack: ack}
+	c.order = append(c.order, env.Seq)
+}
+
 // NewNode assembles a node. net may be nil for single-node tests (sends are
 // then dropped). When cfg.LogDir is set the node's log is backed by an
 // on-disk segment store, which can fail to initialize.
@@ -123,7 +178,7 @@ func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Direct
 			lastT = e.T
 		}
 	}
-	return &Node{
+	n := &Node{
 		ID:          id,
 		Machine:     machine,
 		Log:         lg,
@@ -140,7 +195,90 @@ func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Direct
 		outQ:        make(map[types.NodeID][]types.Message),
 		queueSince:  make(map[types.NodeID]types.Time),
 		outstanding: make(map[types.MessageID]*pendingEnvelope),
-	}, nil
+	}
+	if cfg.LogRecover {
+		if err := n.rebuildMachineFromLog(); err != nil {
+			return nil, err
+		}
+		n.reportUnackedAfterRecovery()
+	}
+	return n, nil
+}
+
+// rebuildMachineFromLog re-derives the primary system's state after a
+// crash: the recovered log holds every input the machine ever consumed, in
+// order, so stepping a fresh machine through them reproduces the exact
+// pre-crash state — believed tuples, derivations, and the per-destination
+// message sequence counters. The counters matter as much as the tuples:
+// message IDs embed them, and a restarted node that reissued old IDs would
+// collide with its own pre-crash exchanges, breaking ack matching for
+// every peer and auditor. Step outputs are discarded (those sends were
+// transmitted before the crash; the log's snd entries prove it).
+func (n *Node) rebuildMachineFromLog() error {
+	for seq := n.Log.FirstSeq(); seq <= n.Log.Len(); seq++ {
+		e, err := n.Log.Entry(seq)
+		if err != nil {
+			return fmt.Errorf("core: recovery replay of %s at entry %d: %w", n.ID, seq, err)
+		}
+		switch e.Type {
+		case seclog.EIns:
+			n.Machine.Step(types.Event{Kind: types.EvIns, Node: n.ID, Time: e.T,
+				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody, Replaces: e.Replaces})
+		case seclog.EDel:
+			n.Machine.Step(types.Event{Kind: types.EvDel, Node: n.ID, Time: e.T,
+				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody})
+		case seclog.ERcv:
+			for j := range e.Msgs {
+				msg := e.Msgs[j]
+				n.Machine.Step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: e.T,
+					Msg: &msg, SameBatch: j > 0})
+			}
+		case seclog.ECkpt:
+			// A checkpoint heading the retained log stands in for the
+			// truncated history; later checkpoints describe state the replay
+			// has already reproduced.
+			if seq == n.Log.FirstSeq() && e.Ckpt != nil {
+				if err := n.Machine.Restore(e.Ckpt.MachineState); err != nil {
+					return fmt.Errorf("core: recovery restore of %s from checkpoint: %w", n.ID, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reportUnackedAfterRecovery handles the commitment-protocol state a crash
+// destroys: the in-memory pending-ack table. The recovered log may hold snd
+// entries whose acks never arrived, and the restarted node can neither
+// retransmit them (the pending envelopes are gone) nor know whether the
+// acks were in flight when it died. The §5.4 remedy is conservative: report
+// every such exchange to the maintainer immediately, so the auditor treats
+// it as a known missing ack — an unattributable lead — instead of provable
+// evidence against this (honest) node.
+func (n *Node) reportUnackedAfterRecovery() {
+	if n.maintainer == nil {
+		return
+	}
+	acked := make(map[types.MessageID]bool)
+	for seq := n.Log.FirstSeq(); seq <= n.Log.Len(); seq++ {
+		e, err := n.Log.Entry(seq)
+		if err != nil || e.Type != seclog.EAck || len(e.AckIDs) == 0 {
+			continue
+		}
+		acked[e.AckIDs[0]] = true
+	}
+	for seq := n.Log.FirstSeq(); seq <= n.Log.Len(); seq++ {
+		e, err := n.Log.Entry(seq)
+		if err != nil || e.Type != seclog.ESnd || len(e.Msgs) == 0 {
+			continue
+		}
+		if acked[e.Msgs[0].ID()] {
+			continue
+		}
+		for i := range e.Msgs {
+			n.maintainer.NotifyMissingAck(n.ID, e.Msgs[i].ID())
+		}
+	}
 }
 
 // fault records the node's first unrecoverable local fault and returns it.
@@ -366,6 +504,16 @@ func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
 	if len(env.Msgs) == 0 {
 		return fmt.Errorf("core: empty envelope from %s", from)
 	}
+	// At-least-once delivery: a retransmitted envelope we already logged is
+	// answered by replaying the original ack — the log and the machine must
+	// see each exchange exactly once. The signature comparison ensures only
+	// a bit-identical duplicate takes this path.
+	if cache, ok := n.rcvSeen[from]; ok {
+		if ack, dup := cache.lookup(env); dup {
+			n.send(from, ack)
+			return nil
+		}
+	}
 	pub, err := n.dir.Key(from)
 	if err != nil {
 		return err
@@ -399,9 +547,19 @@ func (n *Node) handleEnvelope(from types.NodeID, env *Envelope) error {
 	for i := range env.Msgs {
 		ids[i] = env.Msgs[i].ID()
 	}
-	n.send(from, &Packet{Kind: PktAck, Ack: &Ack{
+	ackPkt := &Packet{Kind: PktAck, Ack: &Ack{
 		IDs: ids, PrevHash: hyPrev, T: t, Sig: sig, Seq: y,
-	}})
+	}}
+	if n.rcvSeen == nil {
+		n.rcvSeen = make(map[types.NodeID]*rcvCache)
+	}
+	cache, ok := n.rcvSeen[from]
+	if !ok {
+		cache = new(rcvCache)
+		n.rcvSeen[from] = cache
+	}
+	cache.remember(env, ackPkt)
+	n.send(from, ackPkt)
 	// Feed the messages to the machine, in envelope order.
 	var stepErr error
 	for i := range env.Msgs {
@@ -418,7 +576,16 @@ func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
 		return fmt.Errorf("core: empty ack from %s", from)
 	}
 	pend, ok := n.outstanding[ack.IDs[0]]
-	if !ok || pend.dst != from {
+	if !ok {
+		// A completed exchange acked twice (retransmission raced the
+		// original's ack) is at-least-once delivery at work, not a
+		// protocol violation.
+		if _, dup := n.ackSeen[ack.IDs[0]]; dup {
+			return nil
+		}
+		return fmt.Errorf("core: unexpected ack from %s", from)
+	}
+	if pend.dst != from {
 		return fmt.Errorf("core: unexpected ack from %s", from)
 	}
 	pub, err := n.dir.Key(from)
@@ -445,6 +612,15 @@ func (n *Node) handleAck(from types.NodeID, ack *Ack) error {
 	if i, found := slices.BinarySearchFunc(n.outOrder, ack.IDs[0], cmpOutID); found {
 		n.outOrder = slices.Delete(n.outOrder, i, i+1)
 	}
+	if n.ackSeen == nil {
+		n.ackSeen = make(map[types.MessageID]struct{})
+	}
+	if len(n.ackSeenOrder) >= ackSeenCap {
+		delete(n.ackSeen, n.ackSeenOrder[0])
+		n.ackSeenOrder = n.ackSeenOrder[1:]
+	}
+	n.ackSeen[ack.IDs[0]] = struct{}{}
+	n.ackSeenOrder = append(n.ackSeenOrder, ack.IDs[0])
 	return nil
 }
 

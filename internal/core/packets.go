@@ -31,7 +31,7 @@ func (e Envelope) MarshalWire(w *wire.Writer) {
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (e *Envelope) UnmarshalWire(r *wire.Reader) error {
-	n := r.Uint()
+	n := r.Count()
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -87,7 +87,7 @@ func (a Ack) MarshalWire(w *wire.Writer) {
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (a *Ack) UnmarshalWire(r *wire.Reader) error {
-	n := r.Uint()
+	n := r.Count()
 	if r.Err() != nil {
 		return r.Err()
 	}

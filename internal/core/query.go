@@ -128,6 +128,25 @@ func NewQuerier(auditor *Auditor, fetch Fetcher) *Querier {
 	return &Querier{Auditor: auditor, Fetch: fetch, yellowNodes: make(map[types.NodeID]error)}
 }
 
+// Unreachable returns the nodes whose retrieve calls have failed so far,
+// with the error that made them yellow. These are exactly the §4.2
+// "unavailable" nodes: unattributable leads, not accusations.
+func (q *Querier) Unreachable() map[types.NodeID]error {
+	out := make(map[types.NodeID]error, len(q.yellowNodes))
+	for id, err := range q.yellowNodes {
+		out[id] = err
+	}
+	return out
+}
+
+// ForgetUnreachable clears a node's cached retrieve failure so the next
+// audit tries it again. Yellow is otherwise sticky within a querier —
+// retry-until-deadline loops (a partition healing, a node restarting)
+// call this between attempts.
+func (q *Querier) ForgetUnreachable(node types.NodeID) {
+	delete(q.yellowNodes, node)
+}
+
 // auditTask is one node's background fetch-and-prepare. The fields after
 // done are written by exactly one worker before done is closed and read only
 // afterwards.

@@ -1,0 +1,118 @@
+package livetcp
+
+import (
+	"repro/internal/apps/bgp"
+	"repro/internal/apps/mincost"
+	"repro/internal/core"
+	"repro/internal/dlog"
+	"repro/internal/types"
+)
+
+// MinCostApp is the §3.3 running example on live TCP: routers b, c, d with
+// the Figure 2 link costs, router b compromised. Convergence is c learning
+// bestCost(@c,d,5).
+func MinCostApp() App {
+	insert := func(h *Harness, id types.NodeID, tup types.Tuple) error {
+		return h.With(id, func(n *core.Node) { n.InsertBase(tup) })
+	}
+	return App{
+		Name:        "mincost",
+		Nodes:       []types.NodeID{"b", "c", "d"},
+		Compromised: []types.NodeID{"b"},
+		Factory:     mincost.Factory(),
+		Start: func(h *Harness) error {
+			for _, l := range []struct {
+				at   types.NodeID
+				x, y types.NodeID
+				k    int64
+			}{
+				{"b", "b", "d", 3}, {"d", "d", "b", 3},
+				{"b", "b", "c", 2}, {"c", "c", "b", 2},
+				{"c", "c", "d", 5}, {"d", "d", "c", 5},
+			} {
+				if err := insert(h, l.at, mincost.Link(l.x, l.y, l.k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Converged: func(h *Harness) bool {
+			var ok bool
+			_ = h.With("c", func(n *core.Node) {
+				ok = n.Machine.(*dlog.Machine).Lookup(mincost.BestCost("c", "d", 5))
+			})
+			return ok
+		},
+	}
+}
+
+// quaggaLinks is a 4-network slice of the paper's Quagga topology: two
+// tier-1 peers, the regional provider as30 under both (compromised), and
+// the stub as51 under as30.
+func quaggaLinks() []bgp.ASLink {
+	return []bgp.ASLink{
+		{A: "as10", B: "as20", RelAB: bgp.Peer},
+		{A: "as30", B: "as10", RelAB: bgp.Provider},
+		{A: "as30", B: "as20", RelAB: bgp.Provider},
+		{A: "as51", B: "as30", RelAB: bgp.Provider},
+	}
+}
+
+// QuaggaApp is a live BGP network: each node runs a Speaker reconciled on
+// the harness tick loop, the stub announces one prefix and a tier-1
+// another, and convergence is both reaching the far side of the valley-free
+// export chain.
+func QuaggaApp() App {
+	rels := bgp.Relations(quaggaLinks())
+	nodes := []types.NodeID{"as10", "as20", "as30", "as51"}
+	speakers := make(map[types.NodeID]*bgp.Speaker, len(nodes))
+	for _, id := range nodes {
+		speakers[id] = bgp.NewSpeaker(id, rels[id])
+	}
+	hasRoute := func(h *Harness, at types.NodeID, prefix string) bool {
+		var ok bool
+		_ = h.With(at, func(n *core.Node) {
+			for _, t := range n.Machine.(*dlog.Machine).TuplesOf("advRoute") {
+				if t.Args[1].Str == prefix {
+					ok = true
+					return
+				}
+			}
+		})
+		return ok
+	}
+	var ticks int
+	return App{
+		Name:        "quagga",
+		Nodes:       nodes,
+		Compromised: []types.NodeID{"as30"},
+		Factory:     bgp.Factory(),
+		Start: func(h *Harness) error {
+			if err := h.With("as51", func(n *core.Node) { speakers["as51"].Announce(n, "p51") }); err != nil {
+				return err
+			}
+			return h.With("as20", func(n *core.Node) { speakers["as20"].Announce(n, "p20") })
+		},
+		Step: func(h *Harness) {
+			// Reconcile every few ticks: Sync diffs desired exports against
+			// proxy state, so extra calls are cheap but not free.
+			if ticks++; ticks%4 != 0 {
+				return
+			}
+			for _, id := range nodes {
+				sp := speakers[id]
+				_ = h.With(id, func(n *core.Node) { sp.Sync(n) })
+			}
+		},
+		// p51 climbs as51 -> as30 -> as10 (customer routes export
+		// everywhere); p20 descends as20 -> as30 -> as51 (provider routes
+		// export to customers only). Both crossing as30 is what puts the
+		// compromised node on the audit paths.
+		Converged: func(h *Harness) bool {
+			return hasRoute(h, "as10", "p51") && hasRoute(h, "as51", "p20")
+		},
+		ConfigureQuerier: func(q *core.Querier) {
+			q.Auditor.Builder.MaybeValidator = bgp.ValidateExport
+		},
+	}
+}

@@ -1,0 +1,159 @@
+package livetcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// BenchRow is one live-TCP detection run: an app under one fault plan with
+// tamper-log armed on its compromised node, audited over the wire.
+type BenchRow struct {
+	App       string
+	Plan      string
+	Converged bool
+	// ConvergeTime is how long the workload took to reach its fixpoint
+	// probe (capped at the bench timeout when the plan prevents it).
+	ConvergeTime time.Duration
+	// DetectLatency is the wall time of the audit phase: from the first
+	// retrieve call until the verdict carries provable evidence against
+	// the armed node — the metric a paper-style "time to detection over a
+	// real network" table reports.
+	DetectLatency time.Duration
+	Detected      bool
+	FalseAccused  int
+	Unresponsive  int
+	Stats         transport.Stats
+}
+
+// String renders the row as one table line.
+func (r BenchRow) String() string {
+	conv := "converged"
+	if !r.Converged {
+		conv = "partial"
+	}
+	return fmt.Sprintf("%-8s %-18s %-9s converge=%-8s detect=%-8s detected=%-5v false-acc=%d unresponsive=%d frames=%d drops=%d reconnects=%d",
+		r.App, r.Plan, conv,
+		r.ConvergeTime.Round(time.Millisecond),
+		r.DetectLatency.Round(time.Millisecond),
+		r.Detected, r.FalseAccused, r.Unresponsive,
+		r.Stats.FramesSent, r.Stats.Dropped(), r.Stats.Reconnects)
+}
+
+// benchPlan is one fault plan of the bench matrix, mirroring the
+// conformance suite's three shapes.
+type benchPlan struct {
+	name   string
+	victim map[string]types.NodeID
+	rules  func(app App) []transport.FaultRule
+	tcfg   func() *transport.Config
+}
+
+func benchPlans() []benchPlan {
+	victims := map[string]types.NodeID{"mincost": "d", "quagga": "as20"}
+	return []benchPlan{
+		{
+			name: "none",
+			rules: func(App) []transport.FaultRule { return nil },
+		},
+		{
+			name: "drop+delay",
+			rules: func(App) []transport.FaultRule {
+				return []transport.FaultRule{{
+					From: "*", To: "*",
+					Drop:     0.03,
+					DelayMin: time.Millisecond, DelayMax: 10 * time.Millisecond,
+					Reorder: 0.02,
+				}}
+			},
+		},
+		{
+			name:   "partition",
+			victim: victims,
+			rules: func(app App) []transport.FaultRule {
+				return []transport.FaultRule{{From: "*", To: string(victims[app.Name]), Partition: true}}
+			},
+		},
+		{
+			name: "reset+slow-reader",
+			rules: func(App) []transport.FaultRule {
+				return []transport.FaultRule{{
+					From: "*", To: "*",
+					ResetEvery: 7,
+					StallEvery: 9, StallFor: 600 * time.Millisecond,
+				}}
+			},
+			tcfg: func() *transport.Config {
+				cfg := transport.DefaultConfig()
+				cfg.WriteTimeout = 250 * time.Millisecond
+				cfg.RetryMax = 300 * time.Millisecond
+				return &cfg
+			},
+		},
+	}
+}
+
+// Bench runs the live-TCP detection scenario: tamper-log armed on each
+// app's compromised node, across the fault-plan matrix, reporting
+// convergence time and detection latency per run. It is the wall-clock
+// companion to the simulator's adversary scenarios — same invariant
+// (detected, zero false accusations), measured over loopback TCP.
+func Bench(seed int64) ([]BenchRow, error) {
+	profile, ok := adversary.ProfileByName("tamper-log")
+	if !ok {
+		return nil, fmt.Errorf("livetcp: tamper-log profile missing from catalog")
+	}
+	var rows []BenchRow
+	for _, bp := range benchPlans() {
+		for _, mkApp := range []func() App{MinCostApp, QuaggaApp} {
+			app := mkApp()
+			row, err := benchOne(app, bp, profile, seed)
+			if err != nil {
+				return nil, fmt.Errorf("livetcp: %s under %s: %w", app.Name, bp.name, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func benchOne(app App, bp benchPlan, profile adversary.Profile, seed int64) (BenchRow, error) {
+	plan := adversary.Plan{}
+	for _, id := range app.Compromised {
+		plan[id] = []adversary.Behavior{profile.New()}
+	}
+	opts := Options{
+		Seed:               seed,
+		Fault:              transport.NewFaultPlan(seed, bp.rules(app)...),
+		OnNode:             plan.Hook(),
+		AuditRetryDeadline: time.Second,
+	}
+	if bp.tcfg != nil {
+		opts.Transport = bp.tcfg()
+	}
+	h, err := New(app, opts)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	defer h.Close()
+
+	row := BenchRow{App: app.Name, Plan: bp.name}
+	start := time.Now()
+	err = h.RunUntil(func() bool { return app.Converged(h) }, 8*time.Second)
+	row.ConvergeTime = time.Since(start)
+	row.Converged = err == nil
+	h.Settle()
+
+	q := h.NewQuerier()
+	auditStart := time.Now()
+	v := adversary.AuditUntil(q, h.Maint, time.Now().Add(2*time.Second), 300*time.Millisecond)
+	row.DetectLatency = time.Since(auditStart)
+	row.Detected = v.Detected(app.Compromised)
+	row.FalseAccused = len(v.FalselyAccused(app.Compromised))
+	row.Unresponsive = len(v.Unresponsive)
+	row.Stats = h.Cluster.Stats()
+	return row, nil
+}

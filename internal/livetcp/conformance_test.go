@@ -1,0 +1,253 @@
+package livetcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/apps/mincost"
+	"repro/internal/core"
+	"repro/internal/provgraph"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// faultCase is one fault plan of the live conformance matrix. victim names
+// the honest node the plan cuts off (empty when the plan degrades every
+// link evenly); the invariant demands such a node surface as an
+// unattributable lead, never as provable evidence.
+type faultCase struct {
+	name   string
+	victim map[string]types.NodeID // per app
+	rules  func(app App) []transport.FaultRule
+	tcfg   func() *transport.Config
+}
+
+func liveFaultCases() []faultCase {
+	return []faultCase{
+		{
+			name: "drop+delay",
+			rules: func(App) []transport.FaultRule {
+				return []transport.FaultRule{{
+					From: "*", To: "*",
+					Drop:     0.03,
+					DelayMin: time.Millisecond, DelayMax: 10 * time.Millisecond,
+					Reorder: 0.02,
+				}}
+			},
+		},
+		{
+			name: "partition",
+			// One-way partition of an honest node: everything sent to it —
+			// data plane and audit retrievals alike — vanishes. Chosen so
+			// its own announcements still propagate (outbound is open).
+			victim: map[string]types.NodeID{"mincost": "d", "quagga": "as20"},
+			rules: func(app App) []transport.FaultRule {
+				victim := map[string]types.NodeID{"mincost": "d", "quagga": "as20"}[app.Name]
+				return []transport.FaultRule{{From: "*", To: string(victim), Partition: true}}
+			},
+		},
+		{
+			name: "reset+slow-reader",
+			rules: func(App) []transport.FaultRule {
+				return []transport.FaultRule{{
+					From: "*", To: "*",
+					ResetEvery: 7,
+					StallEvery: 9, StallFor: 600 * time.Millisecond,
+				}}
+			},
+			tcfg: func() *transport.Config {
+				cfg := transport.DefaultConfig()
+				cfg.WriteTimeout = 250 * time.Millisecond // stalls must trip it
+				cfg.RetryMax = 300 * time.Millisecond
+				return &cfg
+			},
+		},
+	}
+}
+
+// TestLiveConformance reruns the adversary conformance slice over loopback
+// TCP under fault plans: tamper-log (a Provable behavior) armed on each
+// app's compromised node, across 3 fault plans × 2 apps × 2 seeds. The
+// §4.2 invariant, live form:
+//
+//   - provable evidence (audit failures, red hosts) never names an honest
+//     node, no matter what the network does;
+//   - the armed node is still provably exposed;
+//   - honest nodes the plan makes unreachable degrade to the verdict's
+//     Unresponsive tier — unattributable leads.
+func TestLiveConformance(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, fc := range liveFaultCases() {
+		for _, mkApp := range []func() App{MinCostApp, QuaggaApp} {
+			for _, seed := range seeds {
+				app := mkApp()
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", fc.name, app.Name, seed), func(t *testing.T) {
+					runLiveCase(t, fc, mkApp(), seed)
+				})
+			}
+		}
+	}
+}
+
+func runLiveCase(t *testing.T, fc faultCase, app App, seed int64) {
+	profile, ok := adversary.ProfileByName("tamper-log")
+	if !ok {
+		t.Fatal("tamper-log profile missing from catalog")
+	}
+	plan := adversary.Plan{}
+	for _, id := range app.Compromised {
+		plan[id] = []adversary.Behavior{profile.New()}
+	}
+	opts := Options{
+		Seed:               seed,
+		Fault:              transport.NewFaultPlan(seed, fc.rules(app)...),
+		OnNode:             plan.Hook(),
+		AuditRetryDeadline: time.Second,
+	}
+	if fc.tcfg != nil {
+		opts.Transport = fc.tcfg()
+	}
+	h, err := New(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Convergence is best-effort under faults: a plan may legitimately
+	// keep updates from some node, but must never corrupt the verdict.
+	if err := h.RunUntil(func() bool { return app.Converged(h) }, 8*time.Second); err != nil {
+		t.Logf("note: %v (acceptable under plan %s)", err, fc.name)
+	}
+	h.Settle()
+
+	q := h.NewQuerier()
+	v := adversary.AuditUntil(q, h.Maint, time.Now().Add(2*time.Second), 300*time.Millisecond)
+	t.Logf("verdict: %v; unreachable: %v", v, q.Unreachable())
+
+	// Accuracy, unconditionally: provable evidence only ever names the
+	// compromised set.
+	if accused := v.FalselyAccused(app.Compromised); len(accused) != 0 {
+		t.Errorf("provable evidence implicates honest nodes %v\nfailures: %v\nred: %v",
+			accused, v.Failures, v.RedHosts)
+	}
+	// Completeness: tamper-log is Provable — the armed node must be
+	// exposed by hard evidence even on a faulty network.
+	bad := map[types.NodeID]bool{}
+	for _, id := range app.Compromised {
+		bad[id] = true
+	}
+	exposed := false
+	for _, id := range v.StrongNodes() {
+		if bad[id] {
+			exposed = true
+		}
+	}
+	if !exposed {
+		t.Errorf("tamper-log on %v yielded no provable evidence: %v", app.Compromised, v)
+	}
+	// Degradation: a partitioned honest node is a lead, not a suspect.
+	if victim := fc.victim[app.Name]; victim != "" {
+		if _, lead := v.Unresponsive[victim]; !lead {
+			t.Errorf("partitioned node %s missing from the unresponsive tier: %v", victim, v)
+		}
+		for _, id := range v.StrongNodes() {
+			if id == victim {
+				t.Errorf("partitioned honest node %s in the provable tier", victim)
+			}
+		}
+	}
+	if stats := h.Cluster.Stats(); stats.FramesSent == 0 {
+		t.Error("no frames crossed the wire — the run did not exercise TCP")
+	}
+}
+
+// TestLiveHonestBaseline runs the drop+delay plan with no adversary at
+// all: lossy networking alone must never produce provable evidence
+// against anyone (the no-false-alarm half of accuracy). Missing-ack
+// notes and yellow vertices are expected — that is what graceful
+// degradation looks like.
+func TestLiveHonestBaseline(t *testing.T) {
+	app := MinCostApp()
+	h, err := New(app, Options{
+		Seed: 7,
+		Fault: transport.NewFaultPlan(7, transport.FaultRule{
+			From: "*", To: "*",
+			Drop:     0.05,
+			DelayMin: time.Millisecond, DelayMax: 8 * time.Millisecond,
+		}),
+		AuditRetryDeadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.RunUntil(func() bool { return app.Converged(h) }, 8*time.Second); err != nil {
+		t.Logf("note: %v", err)
+	}
+	h.Settle()
+	q := h.NewQuerier()
+	v := adversary.AuditUntil(q, h.Maint, time.Now().Add(2*time.Second), 300*time.Millisecond)
+	if len(v.Failures) != 0 || len(v.RedHosts) != 0 {
+		t.Errorf("honest lossy run produced provable evidence: %v\nfailures: %v", v, v.Failures)
+	}
+	if len(v.Unresponsive) != 0 {
+		t.Errorf("every node serves audits, none should be unresponsive: %v", v.Unresponsive)
+	}
+}
+
+// TestLiveQuerierDegradation pins the query-level view of a partition: an
+// Explain that needs an unreachable node's log must return yellow
+// boundary vertices (with Unreachable recording why), never red, and
+// ForgetUnreachable + a healed network must upgrade the same query.
+func TestLiveQuerierDegradation(t *testing.T) {
+	app := MinCostApp()
+	fault := transport.NewFaultPlan(3, transport.FaultRule{
+		From: "auditor", To: "d", Partition: true,
+	})
+	h, err := New(app, Options{Seed: 3, Fault: fault, AuditRetryDeadline: 700 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.RunUntil(func() bool { return app.Converged(h) }, 8*time.Second); err != nil {
+		t.Fatal(err) // only the audit link is cut; the workload must converge
+	}
+	h.Settle()
+
+	q := h.NewQuerier()
+	if err := q.EnsureAudited("d", 0); err == nil {
+		t.Fatal("audit of a partitioned node succeeded")
+	}
+	unreachable := q.Unreachable()
+	if _, ok := unreachable["d"]; !ok {
+		t.Fatalf("d missing from Unreachable: %v", unreachable)
+	}
+	if err := q.EnsureAudited("c", 0); err != nil {
+		t.Fatalf("audit of reachable node failed: %v", err)
+	}
+
+	// Heal the partition (a fresh fetcher dials outside the plan's rule
+	// by using a different querier identity) and retry.
+	q.ForgetUnreachable("d")
+	if _, ok := q.Unreachable()["d"]; ok {
+		t.Fatal("ForgetUnreachable left d marked")
+	}
+	f2 := h.Cluster.NewFetcher("auditor2")
+	defer f2.Close()
+	q.Fetch = f2
+	if err := q.EnsureAudited("d", 0); err != nil {
+		t.Fatalf("audit after heal failed: %v", err)
+	}
+	expl, err := q.Explain("c", mincost.BestCost("c", "d", 5), core.QueryOpts{})
+	if err != nil {
+		t.Fatalf("Explain after heal: %v", err)
+	}
+	if reds := expl.FindColor(provgraph.Red); len(reds) != 0 {
+		t.Errorf("red vertices on an honest run after heal:\n%s", expl.Format())
+	}
+}

@@ -1,0 +1,291 @@
+// Package livetcp runs SNP deployments over real loopback TCP — wall-clock
+// time, genuine sockets, optional injected network faults — and audits them
+// with the remote (wire-level) audit path. It is the bridge between the
+// deterministic simulator, where the §4.2 detection guarantee is pinned
+// exhaustively, and a deployment where connections reset, peers stall, and
+// processes restart: the conformance tests in this package re-assert the
+// guarantee's live form, and snp-bench's livetcp figure measures detection
+// latency over it.
+package livetcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// App is one live workload: the node set, how to start and drive it, and
+// how to probe convergence. Unlike the simulator apps, everything runs on
+// the wall clock — Step is invoked on every harness tick, and Converged is
+// polled under a deadline (best-effort under lossy fault plans: a fault
+// plan is allowed to keep a workload from converging, but never to turn
+// honest nodes into provable suspects).
+type App struct {
+	Name        string
+	Nodes       []types.NodeID
+	Compromised []types.NodeID
+	Factory     types.MachineFactory
+
+	// Start seeds the workload once every node is serving.
+	Start func(h *Harness) error
+	// Step drives periodic application work (e.g. BGP reconciliation) on
+	// each tick, before the nodes' protocol Tick. May be nil.
+	Step func(h *Harness)
+	// Converged probes whether the workload reached its goal state.
+	Converged func(h *Harness) bool
+	// ConfigureQuerier installs app-specific audit hooks (BGP's maybe-rule
+	// validator). May be nil.
+	ConfigureQuerier func(q *core.Querier)
+}
+
+// Options configures a live run. Zero values select defaults tuned for
+// loopback: Tprop well above scheduling noise but small enough to keep
+// missed-ack settling fast.
+type Options struct {
+	// Seed drives key generation, the transport's jitter streams, and the
+	// fault plan (runs with equal Seed and Fault rules make identical
+	// per-link fault decision sequences).
+	Seed int64
+	// Fault, when non-nil, injects network faults on every link.
+	Fault *transport.FaultPlan
+	// Tprop is the commitment protocol's propagation bound in wall time
+	// (default 400ms); DeltaClock the skew bound (default Tprop/2 — all
+	// nodes share the machine clock, the margin absorbs injected delays).
+	Tprop      time.Duration
+	DeltaClock time.Duration
+	// TickEvery is the harness tick period (default 10ms).
+	TickEvery time.Duration
+	// OnNode arms adversary behaviors (adversary.Plan.Hook) on each node
+	// before it starts serving. May be nil.
+	OnNode func(*core.Node)
+	// LogDir, when set, backs every node's log with an on-disk segment
+	// store there (required for Restart).
+	LogDir string
+	// Transport overrides the transport config (Seed and Fault are still
+	// taken from this Options).
+	Transport *transport.Config
+	// AuditCallTimeout / AuditRetryDeadline bound the remote audit path:
+	// per-attempt and total per-call budgets (defaults 500ms / 2s — an
+	// unreachable peer costs at most the deadline per logical call).
+	AuditCallTimeout   time.Duration
+	AuditRetryDeadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tprop <= 0 {
+		o.Tprop = 400 * time.Millisecond
+	}
+	if o.DeltaClock <= 0 {
+		o.DeltaClock = o.Tprop / 2
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 10 * time.Millisecond
+	}
+	if o.AuditCallTimeout <= 0 {
+		o.AuditCallTimeout = 500 * time.Millisecond
+	}
+	if o.AuditRetryDeadline <= 0 {
+		o.AuditRetryDeadline = 2 * time.Second
+	}
+	return o
+}
+
+// Harness is one running live deployment.
+type Harness struct {
+	App     App
+	Opts    Options
+	Cluster *transport.Cluster
+	Cfg     core.Config
+	Dir     *core.Directory
+	Maint   *core.Maintainer
+
+	keys     map[types.NodeID]cryptoutil.PrivateKey
+	nodes    map[types.NodeID]*core.Node
+	fetchers []*transport.RemoteFetcher
+}
+
+// New builds the deployment: a TCP cluster on loopback, one node per
+// App.Nodes entry (armed via Options.OnNode before serving), and the
+// workload seeded via App.Start.
+func New(app App, opts Options) (*Harness, error) {
+	opts = opts.withDefaults()
+	tcfg := transport.DefaultConfig()
+	if opts.Transport != nil {
+		tcfg = *opts.Transport
+	}
+	tcfg.Seed = opts.Seed
+	tcfg.Fault = opts.Fault
+
+	cfg := core.DefaultConfig()
+	cfg.Tprop = types.Time(opts.Tprop)
+	cfg.DeltaClock = types.Time(opts.DeltaClock)
+	cfg.CheckpointEvery = 0
+	cfg.LogDir = opts.LogDir
+
+	h := &Harness{
+		App:     app,
+		Opts:    opts,
+		Cluster: transport.NewClusterWith(tcfg),
+		Cfg:     cfg,
+		Dir:     core.NewDirectory(),
+		Maint:   core.NewMaintainer(),
+		keys:    make(map[types.NodeID]cryptoutil.PrivateKey),
+		nodes:   make(map[types.NodeID]*core.Node),
+	}
+	for i, id := range app.Nodes {
+		key, err := cryptoutil.PooledKey(cfg.Suite, opts.Seed*1000+int64(100+i))
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.keys[id] = key
+		h.Dir.Register(id, key.Public())
+	}
+	for _, id := range app.Nodes {
+		if err := h.startNode(id, false); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	if app.Start != nil {
+		if err := app.Start(h); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (h *Harness) startNode(id types.NodeID, recover bool) error {
+	cfg := h.Cfg
+	cfg.LogRecover = recover
+	node, err := core.NewNode(id, cfg, h.keys[id], h.Dir, h.Maint,
+		transport.WallClock{}, h.Cluster, h.App.Factory(id))
+	if err != nil {
+		return err
+	}
+	if h.Opts.OnNode != nil {
+		h.Opts.OnNode(node)
+	}
+	if _, err := h.Cluster.Serve(node, "127.0.0.1:0"); err != nil {
+		return err
+	}
+	h.nodes[id] = node
+	return nil
+}
+
+// With runs fn on a node under the cluster's serialization lock.
+func (h *Harness) With(id types.NodeID, fn func(*core.Node)) error {
+	return h.Cluster.With(id, fn)
+}
+
+// tick runs one harness step: application work, then every node's
+// protocol Tick (batching, retransmission, missed-ack notification).
+func (h *Harness) tick() {
+	if h.App.Step != nil {
+		h.App.Step(h)
+	}
+	_ = h.Cluster.TickAll()
+}
+
+// RunFor drives the deployment for d of wall time.
+func (h *Harness) RunFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		h.tick()
+		time.Sleep(h.Opts.TickEvery)
+	}
+}
+
+// RunUntil drives the deployment until probe returns true or the timeout
+// passes; the timeout is an error only if fatal is wanted by the caller.
+func (h *Harness) RunUntil(probe func() bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if probe() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livetcp: %s did not converge within %v", h.App.Name, timeout)
+		}
+		h.tick()
+		time.Sleep(h.Opts.TickEvery)
+	}
+}
+
+// Settle keeps ticking long enough for every in-flight exchange to resolve
+// — delivered and acked, or retransmitted and finally reported to the
+// maintainer (which takes 2·Tprop). Auditing before this window closes
+// would see honest nodes with unacked sends the maintainer has not been
+// told about yet, which the finalizer would have to treat as provable
+// evidence; after it, such sends are at worst unattributable leads.
+func (h *Harness) Settle() {
+	h.RunFor(5*h.Opts.Tprop/2 + 200*time.Millisecond)
+}
+
+// NewQuerier builds an audit session over the remote (TCP) audit path. The
+// querier's retrieve calls dial the nodes like any external auditor would,
+// so fault plans apply to audit traffic too ("auditor" is the dialing
+// identity fault rules see).
+func (h *Harness) NewQuerier() *core.Querier {
+	f := h.Cluster.NewFetcher("auditor")
+	f.CallTimeout = h.Opts.AuditCallTimeout
+	f.RetryDeadline = h.Opts.AuditRetryDeadline
+	h.fetchers = append(h.fetchers, f)
+	auditor := core.NewAuditor(h.Cfg, h.Dir, h.App.Factory, h.Maint)
+	q := core.NewQuerier(auditor, f)
+	if h.App.ConfigureQuerier != nil {
+		h.App.ConfigureQuerier(q)
+	}
+	return q
+}
+
+// Restart crash-restarts a node: stop serving (draining in-flight
+// handlers), close its log store, then reopen the store through the
+// recovery path and rejoin the cluster on a fresh port. Requires
+// Options.LogDir. The rest of the cluster keeps running throughout and
+// reconnects via the transport's backoff path.
+func (h *Harness) Restart(id types.NodeID) error {
+	if h.Opts.LogDir == "" {
+		return fmt.Errorf("livetcp: Restart(%s) needs Options.LogDir", id)
+	}
+	node, ok := h.nodes[id]
+	if !ok {
+		return fmt.Errorf("livetcp: no node %s", id)
+	}
+	if err := h.Cluster.StopNode(id); err != nil {
+		return err
+	}
+	if err := node.Log.Close(); err != nil {
+		return err
+	}
+	return h.startNode(id, true)
+}
+
+// HeadHash returns a node's current log head (flushing the store first),
+// for restart-recovery assertions.
+func (h *Harness) HeadHash(id types.NodeID) ([]byte, error) {
+	var head []byte
+	var syncErr error
+	err := h.With(id, func(n *core.Node) {
+		syncErr = n.Log.Sync()
+		head = append([]byte(nil), n.Log.HeadHash()...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return head, syncErr
+}
+
+// Close tears the deployment down: audit fetchers first, then the cluster
+// (listeners, links, in-flight handlers).
+func (h *Harness) Close() {
+	for _, f := range h.fetchers {
+		f.Close()
+	}
+	h.Cluster.Close()
+}

@@ -243,8 +243,11 @@ func checkCount(r *wire.Reader, n uint64) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if n > 1<<24 {
-		return fmt.Errorf("seclog: count %d too large", n)
+	// Each encoded element takes at least one byte: a count past the
+	// remaining input is corrupt, and honoring it would let a few hostile
+	// bytes drive an arbitrarily large allocation.
+	if n > uint64(r.Remaining()) {
+		return fmt.Errorf("seclog: count %d exceeds %d remaining bytes", n, r.Remaining())
 	}
 	return nil
 }

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// FaultRule injects faults on the directional links it matches. From/To
+// select the link by node ID; empty or "*" matches any endpoint. All knobs
+// compose: a rule can drop, delay, reorder, reset, and stall at once, and
+// several rules can match the same link (each is applied in order).
+//
+// Faults act on whole frames (the transport writes one frame per Write), so
+// a drop loses exactly one packet and a reorder swaps two adjacent ones —
+// the same granularity the deterministic simulator's adversary uses.
+type FaultRule struct {
+	From, To string
+
+	// Drop is the per-frame probability the frame is silently discarded
+	// (the write reports success; the bytes never reach the peer).
+	Drop float64
+	// DelayMin/DelayMax bound a uniform per-frame delay applied before the
+	// write. Keep delays well under Tprop: the commitment protocol rejects
+	// envelopes outside the Δclock+Tprop skew window.
+	DelayMin, DelayMax time.Duration
+	// Reorder is the per-frame probability the frame is held back and
+	// transmitted after the next frame on the link.
+	Reorder float64
+	// ResetEvery closes the connection with an injected reset error on
+	// every Nth frame (0 disables). The transport's reconnect path picks it
+	// up: backoff, redial, resume.
+	ResetEvery int
+	// Partition black-holes the link one-way: dials fail and writes are
+	// silently discarded. The reverse direction is unaffected — model a
+	// two-way partition with two rules.
+	Partition bool
+	// StallEvery simulates a slow reader on every Nth frame (0 disables):
+	// the write blocks for StallFor. If the writer set a deadline that
+	// expires mid-stall, the write fails with a timeout error, exercising
+	// the sender's deadline/reset path.
+	StallEvery int
+	// StallFor is the stall duration (default 2x the write deadline is a
+	// good way to force timeouts).
+	StallFor time.Duration
+}
+
+func (r FaultRule) matches(from, to types.NodeID) bool {
+	return (r.From == "" || r.From == "*" || r.From == string(from)) &&
+		(r.To == "" || r.To == "*" || r.To == string(to))
+}
+
+// FaultPlan is a deterministic-seeded network fault injector for the TCP
+// transport: it wraps dialing and connection writes, applying the matching
+// rules' faults with draws from a per-link RNG derived from Seed. Two plans
+// with the same Seed and Rules make identical decision sequences for the
+// same per-link frame sequence — determinism at the plan level, which is
+// what makes fault runs reproducible per seed even though wall-clock
+// scheduling varies.
+//
+// A nil *FaultPlan is a valid no-op injector.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+
+	mu    sync.Mutex
+	links map[linkKey]*linkState
+}
+
+type linkKey struct {
+	from, to types.NodeID
+}
+
+// linkState carries one directional link's RNG stream and frame counter.
+// Draws happen in frame order on the link, so the decision sequence is a
+// pure function of (seed, link, frame index).
+type linkState struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	frames int
+	held   []byte // reordered frame awaiting transmission
+}
+
+// NewFaultPlan builds a plan over the given rules.
+func NewFaultPlan(seed int64, rules ...FaultRule) *FaultPlan {
+	return &FaultPlan{Seed: seed, Rules: rules}
+}
+
+func (p *FaultPlan) link(from, to types.NodeID) *linkState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.links == nil {
+		p.links = make(map[linkKey]*linkState)
+	}
+	k := linkKey{from, to}
+	ls, ok := p.links[k]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(from))
+		h.Write([]byte{0})
+		h.Write([]byte(to))
+		ls = &linkState{rng: rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64())))}
+		p.links[k] = ls
+	}
+	return ls
+}
+
+func (p *FaultPlan) rulesFor(from, to types.NodeID) []FaultRule {
+	var out []FaultRule
+	for _, r := range p.Rules {
+		if r.matches(from, to) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Partitioned reports whether the link from→to is black-holed by the plan.
+func (p *FaultPlan) Partitioned(from, to types.NodeID) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.rulesFor(from, to) {
+		if r.Partition {
+			return true
+		}
+	}
+	return false
+}
+
+// Dial establishes a connection from→to through the plan: partitioned
+// links refuse to dial, and the returned connection injects the matching
+// rules' per-frame faults on every write.
+func (p *FaultPlan) Dial(from, to types.NodeID, addr string, timeout time.Duration) (net.Conn, error) {
+	if p == nil {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	if p.Partitioned(from, to) {
+		return nil, &faultErr{msg: fmt.Sprintf("transport: fault plan partitions %s -> %s", from, to), timeout: true}
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rules := p.rulesFor(from, to)
+	if len(rules) == 0 {
+		return conn, nil
+	}
+	return &faultConn{Conn: conn, rules: rules, state: p.link(from, to)}, nil
+}
+
+// faultErr is an injected network error. Timeout() makes partition and
+// stall errors look like deadline expiries to callers that check net.Error.
+type faultErr struct {
+	msg     string
+	timeout bool
+}
+
+func (e *faultErr) Error() string   { return e.msg }
+func (e *faultErr) Timeout() bool   { return e.timeout }
+func (e *faultErr) Temporary() bool { return true }
+
+// faultConn wraps an outbound connection, treating each Write as one frame
+// and applying the link's fault rules in frame order.
+type faultConn struct {
+	net.Conn
+	rules []FaultRule
+	state *linkState
+
+	deadlineMu sync.Mutex
+	deadline   time.Time // write deadline, mirrored for injected stalls
+}
+
+// decision is the aggregate of all rule draws for one frame.
+type decision struct {
+	drop    bool
+	delay   time.Duration
+	reorder bool
+	reset   bool
+	stall   time.Duration
+}
+
+// decide makes the per-frame draws. It is the only consumer of the link's
+// RNG, and it draws a fixed number of variates per (rule, frame) so the
+// stream stays aligned regardless of which faults fire.
+func (ls *linkState) decide(rules []FaultRule) decision {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.frames++
+	var d decision
+	for _, r := range rules {
+		if r.Partition {
+			d.drop = true
+		}
+		if ls.rng.Float64() < r.Drop {
+			d.drop = true
+		}
+		if span := r.DelayMax - r.DelayMin; span > 0 {
+			d.delay += r.DelayMin + time.Duration(ls.rng.Int63n(int64(span)))
+		} else if r.DelayMin > 0 {
+			d.delay += r.DelayMin
+		} else {
+			ls.rng.Int63() // keep the stream aligned
+		}
+		if ls.rng.Float64() < r.Reorder {
+			d.reorder = true
+		}
+		if r.ResetEvery > 0 && ls.frames%r.ResetEvery == 0 {
+			d.reset = true
+		}
+		if r.StallEvery > 0 && ls.frames%r.StallEvery == 0 && r.StallFor > d.stall {
+			d.stall = r.StallFor
+		}
+	}
+	return d
+}
+
+// takeHeld swaps b into the hold slot, returning the previously held frame
+// (nil when none).
+func (ls *linkState) takeHeld(b []byte) []byte {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	prev := ls.held
+	if b != nil {
+		ls.held = append([]byte(nil), b...)
+	} else {
+		ls.held = nil
+	}
+	return prev
+}
+
+// releaseHeld returns and clears the held frame.
+func (ls *linkState) releaseHeld() []byte { return ls.takeHeld(nil) }
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.deadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.deadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) writeDeadline() time.Time {
+	c.deadlineMu.Lock()
+	defer c.deadlineMu.Unlock()
+	return c.deadline
+}
+
+// sleep blocks for d, honoring the mirrored write deadline: if the deadline
+// expires first, it sleeps only until then and reports a timeout.
+func (c *faultConn) sleep(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if dl := c.writeDeadline(); !dl.IsZero() {
+		if remain := time.Until(dl); remain < d {
+			if remain > 0 {
+				time.Sleep(remain)
+			}
+			return &faultErr{msg: "transport: injected stall exceeded write deadline", timeout: true}
+		}
+	}
+	time.Sleep(d)
+	return nil
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	d := c.state.decide(c.rules)
+	if d.reset {
+		c.Conn.Close()
+		return 0, &faultErr{msg: "transport: injected connection reset"}
+	}
+	if err := c.sleep(d.stall); err != nil {
+		return 0, err
+	}
+	if d.drop {
+		return len(b), nil // silently lost on the wire
+	}
+	if err := c.sleep(d.delay); err != nil {
+		return 0, err
+	}
+	if d.reorder {
+		// Hold this frame; transmit whatever was held before (normally
+		// nothing — two consecutive reorders swap a pair).
+		if prev := c.state.takeHeld(b); prev != nil {
+			if _, err := c.Conn.Write(prev); err != nil {
+				return 0, err
+			}
+		}
+		return len(b), nil
+	}
+	if _, err := c.Conn.Write(b); err != nil {
+		return 0, err
+	}
+	if prev := c.state.releaseHeld(); prev != nil {
+		if _, err := c.Conn.Write(prev); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}

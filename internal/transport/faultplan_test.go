@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// TestFaultPlanDeterminism pins the plan-level reproducibility contract:
+// two plans with the same seed and rules make identical per-frame decision
+// sequences on every link, and distinct links draw from independent
+// streams.
+func TestFaultPlanDeterminism(t *testing.T) {
+	rules := []FaultRule{{
+		From: "*", To: "*",
+		Drop:     0.2,
+		DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond,
+		Reorder:    0.1,
+		ResetEvery: 13,
+		StallEvery: 17, StallFor: time.Millisecond,
+	}}
+	p1 := NewFaultPlan(42, rules...)
+	p2 := NewFaultPlan(42, rules...)
+	l1, l2 := p1.link("a", "b"), p2.link("a", "b")
+	var diffFromOther int
+	other := p1.link("b", "a")
+	for i := 0; i < 500; i++ {
+		d1, d2 := l1.decide(rules), l2.decide(rules)
+		if d1 != d2 {
+			t.Fatalf("frame %d: same seed diverged: %+v vs %+v", i, d1, d2)
+		}
+		if d1 != other.decide(rules) {
+			diffFromOther++
+		}
+	}
+	if diffFromOther == 0 {
+		t.Error("links a->b and b->a share a decision stream")
+	}
+	p3 := NewFaultPlan(43, rules...)
+	l3 := p3.link("a", "b")
+	var diffSeed int
+	for i := 0; i < 500; i++ {
+		if p1.link("a", "b").decide(rules) != l3.decide(rules) {
+			diffSeed++
+		}
+	}
+	if diffSeed == 0 {
+		t.Error("different seeds made identical decision streams")
+	}
+}
+
+func TestFaultPlanPartition(t *testing.T) {
+	p := NewFaultPlan(1, FaultRule{From: "*", To: "b", Partition: true})
+	if !p.Partitioned("a", "b") || !p.Partitioned("x", "b") {
+		t.Error("partition rule did not match")
+	}
+	if p.Partitioned("b", "a") {
+		t.Error("one-way partition blocked the reverse direction")
+	}
+	if _, err := p.Dial("a", "b", "127.0.0.1:1", time.Second); err == nil {
+		t.Error("dial across a partition succeeded")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Partitioned("a", "b") {
+		t.Error("nil plan partitioned a link")
+	}
+}
+
+// TestSendBackpressure pins the non-blocking Send contract: a peer that
+// never accepts connections fills the bounded queue, and further sends are
+// dropped and counted rather than blocking the caller.
+func TestSendBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueLen = 8
+	cfg.DialTimeout = 50 * time.Millisecond
+	cfg.RetryBase = 50 * time.Millisecond
+	cfg.RetryMax = 200 * time.Millisecond
+	c := NewClusterWith(cfg)
+	defer c.Close()
+	// A registered address nobody listens on: dials fail, the queue backs
+	// up, and Send must keep returning immediately.
+	c.AddPeer("dead", "127.0.0.1:1")
+
+	pkt := &core.Packet{Kind: core.PktAck, Ack: &core.Ack{
+		IDs: []types.MessageID{{Src: "a", Dst: "dead", Seq: 1}}, T: 1,
+	}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.Send("a", "dead", pkt)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on a dead peer")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		s := c.Stats()
+		if s.Dropped() > 0 && s.DialErrors > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no drops or dial errors recorded: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterCloseIdempotent pins that Close can be called repeatedly and
+// that Send after Close drops cleanly instead of panicking.
+func TestClusterCloseIdempotent(t *testing.T) {
+	c := NewCluster()
+	c.AddPeer("x", "127.0.0.1:1")
+	pkt := &core.Packet{Kind: core.PktAck, Ack: &core.Ack{
+		IDs: []types.MessageID{{Src: "a", Dst: "x", Seq: 1}}, T: 1,
+	}}
+	c.Send("a", "x", pkt)
+	c.Close()
+	c.Close()
+	c.Send("a", "x", pkt)
+	if s := c.Stats(); s.ClosedDrops == 0 {
+		t.Errorf("send after close not counted: %+v", s)
+	}
+}

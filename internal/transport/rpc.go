@@ -1,0 +1,393 @@
+package transport
+
+// The audit control plane over TCP: queriers retrieve log segments, fresh
+// authenticators, and peer-held evidence from live nodes with the same
+// framing the data plane uses. Each call is one request/response exchange
+// on a per-target connection; the RemoteFetcher below retries transient
+// network failures with backoff until a deadline, then surfaces a checked
+// error — which the querier records as an unreachable (yellow) node, an
+// unattributable lead, never a provable accusation.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Audit frame kinds (disjoint from the data-plane kinds).
+const (
+	frameRetrieveReq  byte = 0x10
+	frameRetrieveResp byte = 0x11
+	frameAuthReq      byte = 0x12
+	frameAuthResp     byte = 0x13
+	frameAuthsReq     byte = 0x14
+	frameAuthsResp    byte = 0x15
+)
+
+func isRPCKind(k byte) bool { return k >= frameRetrieveReq && k <= frameAuthsResp }
+
+// serveRPC answers one audit request on the connection it arrived on. The
+// node lock is held only for the node call itself; encoding and the
+// response write happen outside it. A non-nil return closes the connection.
+func (c *Cluster) serveRPC(m *member, conn net.Conn, from types.NodeID, kind byte, r *wire.Reader) error {
+	reqID := r.Uint()
+	if err := r.Err(); err != nil {
+		c.decodeErrors.Add(1)
+		return err
+	}
+	w := wire.NewWriter(512)
+	w.Raw([]byte{0, 0, 0, 0})
+	w.String(string(m.node.ID))
+	switch kind {
+	case frameRetrieveReq:
+		var req core.RetrieveRequest
+		r.Value(&req)
+		if err := r.Finish(); err != nil {
+			c.decodeErrors.Add(1)
+			return err
+		}
+		w.Byte(frameRetrieveResp)
+		w.Uint(reqID)
+		m.mu.Lock()
+		resp, err := m.node.HandleRetrieve(req)
+		m.mu.Unlock()
+		if err != nil {
+			w.Bool(false)
+			w.String(err.Error())
+		} else {
+			w.Bool(true)
+			resp.MarshalWire(w)
+		}
+	case frameAuthReq:
+		if err := r.Finish(); err != nil {
+			c.decodeErrors.Add(1)
+			return err
+		}
+		w.Byte(frameAuthResp)
+		w.Uint(reqID)
+		m.mu.Lock()
+		auth, err := m.node.LatestAuth()
+		m.mu.Unlock()
+		if err != nil {
+			w.Bool(false)
+			w.String(err.Error())
+		} else {
+			w.Bool(true)
+			auth.MarshalWire(w)
+		}
+	case frameAuthsReq:
+		target := types.NodeID(r.String())
+		t1 := types.Time(r.Int())
+		t2 := types.Time(r.Int())
+		if err := r.Finish(); err != nil {
+			c.decodeErrors.Add(1)
+			return err
+		}
+		w.Byte(frameAuthsResp)
+		w.Uint(reqID)
+		m.mu.Lock()
+		auths := m.node.AuthsAbout(target, t1, t2)
+		m.mu.Unlock()
+		w.Bool(true)
+		w.Uint(uint64(len(auths)))
+		for i := range auths {
+			auths[i].MarshalWire(w)
+		}
+	default:
+		c.decodeErrors.Add(1)
+		return fmt.Errorf("transport: unknown audit frame kind %d", kind)
+	}
+	c.rpcServed.Add(1)
+	buf, err := finishFrame(w, c.cfg.MaxFrame)
+	if err != nil {
+		// The answer outgrew the frame bound (a segment larger than
+		// MaxFrame): report the error in-band so the querier sees a checked
+		// failure instead of a hung read.
+		w = wire.NewWriter(128)
+		w.Raw([]byte{0, 0, 0, 0})
+		w.String(string(m.node.ID))
+		w.Byte(kind + 1)
+		w.Uint(reqID)
+		w.Bool(false)
+		w.String(err.Error())
+		if buf, err = finishFrame(w, c.cfg.MaxFrame); err != nil {
+			return err
+		}
+	}
+	return c.writeFrame(conn, buf)
+}
+
+// remoteError is an application-level failure reported by a reachable
+// node (audit refused, empty log, evidence beyond head). It is final: the
+// node answered, so retrying cannot change the outcome.
+type remoteError struct {
+	node types.NodeID
+	msg  string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("transport: %s: %s", e.node, e.msg)
+}
+
+// RemoteFetcher implements core.Fetcher over the wire: every audit call
+// dials (or reuses) a connection to the target node and performs one
+// request/response exchange under a per-attempt timeout, retrying with
+// jittered exponential backoff until RetryDeadline. Unreachable or
+// stalling peers therefore cost bounded time and surface as checked
+// errors; the query layer records them as yellow vertices and the verdict
+// layer as unattributable leads (§4.2's "unavailable" tier).
+//
+// A RemoteFetcher is safe for concurrent use (the querier's audit worker
+// pool fans calls out); calls to the same target serialize on that
+// target's connection.
+type RemoteFetcher struct {
+	// CallTimeout bounds each dial+write+read attempt (default 3s).
+	CallTimeout time.Duration
+	// RetryDeadline bounds the total time spent on one logical call,
+	// retries included (default 10s). Application-level refusals are
+	// final and are not retried.
+	RetryDeadline time.Duration
+
+	c  *Cluster
+	id types.NodeID
+
+	mu    sync.Mutex
+	conns map[types.NodeID]*rconn
+	rng   *rand.Rand
+	reqID uint64
+}
+
+// rconn serializes the request/response exchanges against one target.
+type rconn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewFetcher builds a remote fetcher that audits this cluster's peers over
+// TCP. id names the querier on the wire and to the fault plan, so plans
+// can partition audit traffic (rules matching From: id) independently of
+// the data plane.
+func (c *Cluster) NewFetcher(id types.NodeID) *RemoteFetcher {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return &RemoteFetcher{
+		CallTimeout:   3 * time.Second,
+		RetryDeadline: 10 * time.Second,
+		c:             c,
+		id:            id,
+		conns:         make(map[types.NodeID]*rconn),
+		rng:           rand.New(rand.NewSource(c.cfg.Seed ^ int64(h.Sum64()))),
+	}
+}
+
+// Close drops the fetcher's connections. In-flight calls fail with read
+// errors and are not retried past their deadlines.
+func (f *RemoteFetcher) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rc := range f.conns {
+		if rc.conn != nil {
+			rc.conn.Close()
+		}
+	}
+	f.conns = make(map[types.NodeID]*rconn)
+}
+
+func (f *RemoteFetcher) rconnFor(node types.NodeID) *rconn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rc, ok := f.conns[node]
+	if !ok {
+		rc = &rconn{}
+		f.conns[node] = rc
+	}
+	return rc
+}
+
+func (f *RemoteFetcher) nextReqID() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reqID++
+	return f.reqID
+}
+
+func (f *RemoteFetcher) jitter(backoff time.Duration) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return backoff/2 + time.Duration(f.rng.Int63n(int64(backoff/2)+1))
+}
+
+// call performs one logical audit call with retry-until-deadline.
+func (f *RemoteFetcher) call(node types.NodeID, reqKind, respKind byte,
+	body func(w *wire.Writer), parse func(r *wire.Reader) error) error {
+	deadline := time.Now().Add(f.RetryDeadline)
+	backoff := f.c.cfg.RetryBase
+	var lastErr error
+	for {
+		err := f.attempt(node, reqKind, respKind, body, parse)
+		if err == nil {
+			return nil
+		}
+		if _, final := err.(*remoteError); final {
+			return err
+		}
+		lastErr = err
+		wait := f.jitter(backoff)
+		if backoff *= 2; backoff > f.c.cfg.RetryMax {
+			backoff = f.c.cfg.RetryMax
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return fmt.Errorf("transport: %s unreachable within retry deadline: %w", node, lastErr)
+		}
+		time.Sleep(wait)
+	}
+}
+
+// attempt performs one request/response exchange under CallTimeout.
+func (f *RemoteFetcher) attempt(node types.NodeID, reqKind, respKind byte,
+	body func(w *wire.Writer), parse func(r *wire.Reader) error) error {
+	rc := f.rconnFor(node)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn == nil {
+		f.c.mu.Lock()
+		addr, ok := f.c.addrs[node]
+		f.c.mu.Unlock()
+		if !ok {
+			return &remoteError{node: node, msg: "unknown peer"}
+		}
+		conn, err := f.c.cfg.Fault.Dial(f.id, node, addr, f.c.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		rc.conn = conn
+	}
+	reqID := f.nextReqID()
+	w := wire.NewWriter(256)
+	w.Raw([]byte{0, 0, 0, 0})
+	w.String(string(f.id))
+	w.Byte(reqKind)
+	w.Uint(reqID)
+	if body != nil {
+		body(w)
+	}
+	buf, err := finishFrame(w, f.c.cfg.MaxFrame)
+	if err != nil {
+		return &remoteError{node: node, msg: err.Error()}
+	}
+	fail := func(err error) error {
+		rc.conn.Close()
+		rc.conn = nil
+		return err
+	}
+	rc.conn.SetDeadline(time.Now().Add(f.CallTimeout))
+	if _, err := rc.conn.Write(buf); err != nil {
+		return fail(err)
+	}
+	for {
+		payload, err := readFrame(rc.conn, f.c.cfg.MaxFrame)
+		if err != nil {
+			return fail(err)
+		}
+		_, kind, r, err := beginFrame(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if kind != respKind {
+			return fail(fmt.Errorf("transport: unexpected response kind %d from %s", kind, node))
+		}
+		if r.Uint() != reqID {
+			continue // stale answer from an abandoned attempt on this conn
+		}
+		if !r.Bool() {
+			msg := r.String()
+			if err := r.Err(); err != nil {
+				return fail(err)
+			}
+			return &remoteError{node: node, msg: msg}
+		}
+		if err := parse(r); err != nil {
+			return fail(err)
+		}
+		return nil
+	}
+}
+
+// Retrieve implements core.Fetcher.
+func (f *RemoteFetcher) Retrieve(node types.NodeID, req core.RetrieveRequest) (*core.RetrieveResponse, error) {
+	resp := new(core.RetrieveResponse)
+	err := f.call(node, frameRetrieveReq, frameRetrieveResp,
+		func(w *wire.Writer) { req.MarshalWire(w) },
+		func(r *wire.Reader) error {
+			r.Value(resp)
+			return r.Finish()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// LatestAuth implements core.Fetcher.
+func (f *RemoteFetcher) LatestAuth(node types.NodeID) (seclog.Authenticator, error) {
+	var auth seclog.Authenticator
+	err := f.call(node, frameAuthReq, frameAuthResp, nil,
+		func(r *wire.Reader) error {
+			r.Value(&auth)
+			return r.Finish()
+		})
+	return auth, err
+}
+
+// AuthsAbout implements core.Fetcher. Unreachable observers contribute no
+// evidence (the Fetcher interface carries no error here): the consistency
+// check simply sees fewer vouching peers, which can only weaken detection,
+// never accuse.
+func (f *RemoteFetcher) AuthsAbout(observer, target types.NodeID, t1, t2 types.Time) []seclog.Authenticator {
+	var out []seclog.Authenticator
+	err := f.call(observer, frameAuthsReq, frameAuthsResp,
+		func(w *wire.Writer) {
+			w.String(string(target))
+			w.Int(int64(t1))
+			w.Int(int64(t2))
+		},
+		func(r *wire.Reader) error {
+			n := r.Count() // adversary-controlled; bounded against input size
+			if err := r.Err(); err != nil {
+				return err
+			}
+			out = make([]seclog.Authenticator, n)
+			for i := range out {
+				if err := out[i].UnmarshalWire(r); err != nil {
+					return err
+				}
+			}
+			return r.Finish()
+		})
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Nodes implements core.Fetcher: the full registered membership (local and
+// remote), sorted. This is the set AuditAll sweeps.
+func (f *RemoteFetcher) Nodes() []types.NodeID {
+	f.c.mu.Lock()
+	defer f.c.mu.Unlock()
+	out := make([]types.NodeID, 0, len(f.c.addrs))
+	for id := range f.c.addrs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,22 +1,36 @@
 // Package transport runs SNooPy nodes over real TCP sockets (stdlib net),
 // complementing the deterministic simulator: the same core.Node, the same
 // commitment protocol, but wall-clock time and genuine concurrency. It is
-// the deployment path for the library outside experiments.
+// the deployment path for the library outside experiments, and it is built
+// to survive a real network: per-link outbound queues with drop-and-count
+// backpressure (a dead peer never stalls sends to healthy peers), dial/
+// read/write deadlines, bounded exponential backoff with jitter on
+// reconnect, and connection reuse that survives peer restarts.
 //
-// Framing is trivial: a 4-byte big-endian length, a 1-byte packet kind,
-// then the wire-encoded envelope or ack. Each node listens on its own
-// address; a Cluster serializes delivery into each node (core.Node is
-// single-threaded by contract).
+// Framing is trivial: a 4-byte big-endian length (bounded by MaxFrame),
+// then the sender's node ID, a 1-byte frame kind, and the wire-encoded
+// body. Data frames carry envelopes and acks; audit frames (rpc.go) carry
+// the retrieve protocol so queriers can audit live nodes remotely. Each
+// node listens on its own address; a Cluster serializes delivery into each
+// node (core.Node is single-threaded by contract).
+//
+// A seeded FaultPlan (faultplan.go) can be installed on a Cluster to
+// inject drops, delays, reorders, resets, one-way partitions, and
+// slow-reader stalls per link — the live-network counterpart of
+// internal/adversary's composable behaviors.
 package transport
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,30 +45,190 @@ type WallClock struct{}
 // Now implements core.Clock.
 func (WallClock) Now() types.Time { return types.Time(time.Now().UnixNano()) }
 
-// Cluster manages a set of local nodes reachable over TCP. It implements
-// core.Sender (outbound) and dispatches inbound packets into the owning
-// node under a per-node lock.
-type Cluster struct {
-	mu        sync.Mutex
-	addrs     map[types.NodeID]string
-	nodes     map[types.NodeID]*member
-	listeners []net.Listener
-	conns     map[types.NodeID]net.Conn // outbound, lazily dialed
-	wg        sync.WaitGroup
-	closed    bool
+// DefaultMaxFrame bounds the 4-byte frame length a peer can make the
+// decoder allocate for: a malicious or corrupt length prefix must not be
+// able to OOM the daemon.
+const DefaultMaxFrame = 16 << 20
+
+// Config carries the transport's failure-handling parameters. The zero
+// value of any field selects the default.
+type Config struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 2s); a peer
+	// that stalls reading trips it, and the sender resets and reconnects.
+	WriteTimeout time.Duration
+	// ReadIdle, when positive, is the per-frame read deadline on inbound
+	// connections: a peer that goes silent mid-frame (or holds an idle
+	// connection past it) is disconnected and must reconnect. Zero keeps
+	// inbound connections open indefinitely.
+	ReadIdle time.Duration
+	// RetryBase/RetryMax bound the exponential reconnect backoff
+	// (defaults 20ms and 1s). The actual wait is jittered in
+	// [backoff/2, backoff] from a per-link RNG seeded by Seed.
+	RetryBase time.Duration
+	// RetryMax caps the backoff growth.
+	RetryMax time.Duration
+	// QueueLen is the per-link outbound queue bound (default 256). A full
+	// queue drops the newest frame and counts it — Send never blocks, so a
+	// slow link cannot back-pressure the single-threaded node loop.
+	QueueLen int
+	// MaxFrame bounds inbound (and outbound) frame sizes (default 16 MiB).
+	MaxFrame int
+	// Seed derives the per-link backoff-jitter RNG streams (and is the
+	// natural place to thread a scenario seed through to FaultPlan).
+	Seed int64
+	// Fault, when non-nil, injects network faults on outbound links.
+	Fault *FaultPlan
 }
 
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		RetryBase:    20 * time.Millisecond,
+		RetryMax:     time.Second,
+		QueueLen:     256,
+		MaxFrame:     DefaultMaxFrame,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = d.RetryBase
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = d.RetryMax
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = c.RetryBase
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = d.QueueLen
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = d.MaxFrame
+	}
+	return c
+}
+
+// Stats is a snapshot of the cluster's failure counters.
+type Stats struct {
+	FramesSent     uint64 // frames handed to the OS (possibly fault-dropped)
+	QueueFullDrops uint64 // Send backpressure: outbound queue full
+	DownDrops      uint64 // link down (dialing failed or in backoff)
+	ClosedDrops    uint64 // sends after Close
+	WriteErrors    uint64 // write failures (deadline, reset, injected)
+	Dials          uint64
+	DialErrors     uint64
+	Reconnects     uint64 // successful dials after a previous connection
+	FramesReceived uint64
+	DecodeErrors   uint64 // malformed inbound frames (connection dropped)
+	RPCServed      uint64
+}
+
+// Dropped sums every frame the transport gave up on.
+func (s Stats) Dropped() uint64 {
+	return s.QueueFullDrops + s.DownDrops + s.ClosedDrops + s.WriteErrors
+}
+
+// Cluster manages a set of local nodes reachable over TCP. It implements
+// core.Sender (outbound) and dispatches inbound packets into the owning
+// node under a per-node lock. It also implements core.Fetcher for its
+// *local* nodes; NewFetcher builds the remote fetcher that audits nodes
+// over the wire.
+type Cluster struct {
+	cfg Config
+
+	mu      sync.Mutex
+	addrs   map[types.NodeID]string
+	nodes   map[types.NodeID]*member
+	peers   map[linkKey]*peer
+	closed  bool
+	quit    chan struct{}
+	wg      sync.WaitGroup // peer workers
+	serveWg sync.WaitGroup // accept loops + inbound handlers + fetchers
+
+	framesSent     atomic.Uint64
+	queueFullDrops atomic.Uint64
+	downDrops      atomic.Uint64
+	closedDrops    atomic.Uint64
+	writeErrors    atomic.Uint64
+	dials          atomic.Uint64
+	dialErrors     atomic.Uint64
+	reconnects     atomic.Uint64
+	framesReceived atomic.Uint64
+	decodeErrors   atomic.Uint64
+	rpcServed      atomic.Uint64
+}
+
+// member is one locally served node: its listener, its inbound
+// connections, and the lock serializing calls into the node.
 type member struct {
 	mu   sync.Mutex
 	node *core.Node
+
+	ln     net.Listener
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup // accept loop + handlers for this node
 }
 
-// NewCluster returns an empty cluster.
-func NewCluster() *Cluster {
+func (m *member) track(conn net.Conn) {
+	m.connMu.Lock()
+	m.conns[conn] = struct{}{}
+	m.connMu.Unlock()
+}
+
+func (m *member) untrack(conn net.Conn) {
+	m.connMu.Lock()
+	delete(m.conns, conn)
+	m.connMu.Unlock()
+}
+
+func (m *member) closeConns() {
+	m.connMu.Lock()
+	for conn := range m.conns {
+		conn.Close()
+	}
+	m.connMu.Unlock()
+}
+
+// peer is one directional link's outbound state: a bounded queue drained
+// by a single worker goroutine that owns the connection and the backoff
+// schedule. Faults and backoff jitter are per-link, which is what lets a
+// seeded FaultPlan give reproducible per-link decision sequences.
+type peer struct {
+	from, to types.NodeID
+	q        chan *core.Packet
+
+	// Worker-owned; no locking needed.
+	conn      net.Conn
+	backoff   time.Duration
+	nextDial  time.Time
+	connected bool // ever connected (distinguishes reconnects)
+	rng       *rand.Rand
+}
+
+// NewCluster returns an empty cluster with default configuration.
+func NewCluster() *Cluster { return NewClusterWith(Config{}) }
+
+// NewClusterWith returns an empty cluster with the given configuration.
+func NewClusterWith(cfg Config) *Cluster {
 	return &Cluster{
+		cfg:   cfg.withDefaults(),
 		addrs: make(map[types.NodeID]string),
 		nodes: make(map[types.NodeID]*member),
-		conns: make(map[types.NodeID]net.Conn),
+		peers: make(map[linkKey]*peer),
+		quit:  make(chan struct{}),
 	}
 }
 
@@ -66,29 +240,47 @@ func (c *Cluster) AddPeer(id types.NodeID, addr string) {
 }
 
 // Serve starts accepting packets for a local node on addr ("host:0" picks a
-// free port). It returns the bound address.
+// free port). It returns the bound address. Serving an ID that was stopped
+// with StopNode re-registers it (the restart path); peers reconnect to the
+// new address transparently because links resolve the address at dial time.
 func (c *Cluster) Serve(node *core.Node, addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	m := &member{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
 	c.mu.Lock()
-	c.listeners = append(c.listeners, ln)
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: cluster closed")
+	}
+	if _, dup := c.nodes[node.ID]; dup {
+		c.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("transport: node %s already served (StopNode first)", node.ID)
+	}
 	c.addrs[node.ID] = ln.Addr().String()
-	m := &member{node: node}
 	c.nodes[node.ID] = m
 	c.mu.Unlock()
-	c.wg.Add(1)
+
+	m.wg.Add(1)
+	c.serveWg.Add(1)
 	go func() {
-		defer c.wg.Done()
+		defer c.serveWg.Done()
+		defer m.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return // listener closed
 			}
-			c.wg.Add(1)
+			m.track(conn)
+			m.wg.Add(1)
+			c.serveWg.Add(1)
 			go func() {
-				defer c.wg.Done()
+				defer c.serveWg.Done()
+				defer m.wg.Done()
+				defer m.untrack(conn)
 				defer conn.Close()
 				c.serveConn(m, conn)
 			}()
@@ -97,10 +289,59 @@ func (c *Cluster) Serve(node *core.Node, addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// StopNode tears one served node down — listener closed, inbound
+// connections reset, in-flight handlers drained — without touching the
+// rest of the cluster. It models a node crash (or a clean shutdown before
+// a restart): peers' envelopes to the node start failing and back off
+// until Serve registers a replacement. The node's log is NOT closed;
+// callers crash-testing the seclog store close or abandon it themselves.
+func (c *Cluster) StopNode(id types.NodeID) error {
+	c.mu.Lock()
+	m, ok := c.nodes[id]
+	if ok {
+		delete(c.nodes, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no local node %s", id)
+	}
+	m.ln.Close()
+	m.closeConns()
+	m.wg.Wait()
+	return nil
+}
+
+// serveConn handles one inbound connection: data frames are dispatched
+// into the member node under its lock; audit frames are answered in place
+// (rpc.go). A decode error or read timeout drops the connection — the
+// remote side reconnects through its normal backoff path.
 func (c *Cluster) serveConn(m *member, conn net.Conn) {
 	for {
-		from, pkt, err := readPacket(conn)
+		if c.cfg.ReadIdle > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadIdle))
+		}
+		payload, err := readFrame(conn, c.cfg.MaxFrame)
 		if err != nil {
+			if err != io.EOF {
+				c.decodeErrors.Add(1)
+			}
+			return
+		}
+		c.framesReceived.Add(1)
+		from, kind, r, err := beginFrame(payload)
+		if err != nil {
+			c.decodeErrors.Add(1)
+			return
+		}
+		if isRPCKind(kind) {
+			if err := c.serveRPC(m, conn, from, kind, r); err != nil {
+				return
+			}
+			continue
+		}
+		pkt, err := decodePacketBody(kind, r)
+		if err != nil {
+			c.decodeErrors.Add(1)
 			return
 		}
 		m.mu.Lock()
@@ -109,39 +350,147 @@ func (c *Cluster) serveConn(m *member, conn net.Conn) {
 	}
 }
 
-// Send implements core.Sender.
+// Send implements core.Sender. It never blocks and never performs network
+// I/O on the caller's goroutine: the frame is enqueued on the (from, to)
+// link's bounded queue and the link worker dials, writes, and reconnects.
+// When the queue is full the frame is dropped and counted — backpressure
+// surfaces in Stats, and the commitment protocol's retransmit and
+// missing-ack machinery owns recovery.
 func (c *Cluster) Send(from, to types.NodeID, pkt *core.Packet) {
-	conn, err := c.dial(to)
-	if err != nil {
-		return // unreachable peer: the retransmit path will retry
-	}
-	if err := writePacket(conn, from, pkt); err != nil {
-		c.mu.Lock()
-		delete(c.conns, to)
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		conn.Close()
+		c.closedDrops.Add(1)
+		return
+	}
+	key := linkKey{from, to}
+	p := c.peers[key]
+	if p == nil {
+		h := fnv.New64a()
+		h.Write([]byte(from))
+		h.Write([]byte{0xff})
+		h.Write([]byte(to))
+		p = &peer{
+			from: from, to: to,
+			q:   make(chan *core.Packet, c.cfg.QueueLen),
+			rng: rand.New(rand.NewSource(c.cfg.Seed ^ int64(h.Sum64()))),
+		}
+		c.peers[key] = p
+		c.wg.Add(1)
+		go c.linkWorker(p)
+	}
+	c.mu.Unlock()
+	select {
+	case p.q <- pkt:
+	default:
+		c.queueFullDrops.Add(1)
 	}
 }
 
-func (c *Cluster) dial(to types.NodeID) (net.Conn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, errors.New("transport: cluster closed")
+func (c *Cluster) linkWorker(p *peer) {
+	defer c.wg.Done()
+	defer func() {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case pkt := <-p.q:
+			c.deliver(p, pkt)
+		}
 	}
-	if conn, ok := c.conns[to]; ok {
-		return conn, nil
-	}
-	addr, ok := c.addrs[to]
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %s", to)
-	}
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+}
+
+// deliver writes one frame on the link, establishing or re-establishing
+// the connection as needed. Failures drop the frame (counted): blocking
+// here would stall every later frame on the link behind a peer that may
+// be gone for good.
+func (c *Cluster) deliver(p *peer, pkt *core.Packet) {
+	buf, err := encodePacketFrame(p.from, pkt, c.cfg.MaxFrame)
 	if err != nil {
-		return nil, err
+		c.writeErrors.Add(1)
+		return
 	}
-	c.conns[to] = conn
-	return conn, nil
+	if p.conn == nil && !c.connect(p) {
+		c.downDrops.Add(1)
+		return
+	}
+	if c.writeFrame(p.conn, buf) == nil {
+		c.framesSent.Add(1)
+		return
+	}
+	// The connection died under us — the usual sign of a peer restart.
+	// Reconnect immediately and retry the frame once; only then give up.
+	c.writeErrors.Add(1)
+	p.conn.Close()
+	p.conn = nil
+	if !c.connect(p) {
+		c.downDrops.Add(1)
+		return
+	}
+	if c.writeFrame(p.conn, buf) == nil {
+		c.framesSent.Add(1)
+		return
+	}
+	c.writeErrors.Add(1)
+	p.conn.Close()
+	p.conn = nil
+	p.failDial(c.cfg)
+}
+
+func (c *Cluster) writeFrame(conn net.Conn, buf []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	_, err := conn.Write(buf)
+	return err
+}
+
+// connect dials the link's current address, honoring the backoff schedule:
+// while a previous failure's backoff window is open the call fails fast
+// (the frame is dropped) instead of sleeping, so the queue keeps draining.
+func (c *Cluster) connect(p *peer) bool {
+	if !p.nextDial.IsZero() && time.Now().Before(p.nextDial) {
+		return false
+	}
+	c.mu.Lock()
+	addr, ok := c.addrs[p.to]
+	c.mu.Unlock()
+	if !ok {
+		p.failDial(c.cfg)
+		return false
+	}
+	c.dials.Add(1)
+	conn, err := c.cfg.Fault.Dial(p.from, p.to, addr, c.cfg.DialTimeout)
+	if err != nil {
+		c.dialErrors.Add(1)
+		p.failDial(c.cfg)
+		return false
+	}
+	if p.connected {
+		c.reconnects.Add(1)
+	}
+	p.connected = true
+	p.conn = conn
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	return true
+}
+
+// failDial advances the link's exponential backoff and schedules the next
+// dial attempt with jitter in [backoff/2, backoff].
+func (p *peer) failDial(cfg Config) {
+	if p.backoff == 0 {
+		p.backoff = cfg.RetryBase
+	} else {
+		p.backoff *= 2
+		if p.backoff > cfg.RetryMax {
+			p.backoff = cfg.RetryMax
+		}
+	}
+	wait := p.backoff/2 + time.Duration(p.rng.Int63n(int64(p.backoff/2)+1))
+	p.nextDial = time.Now().Add(wait)
 }
 
 // With runs fn with exclusive access to a local node (drivers use it to
@@ -170,6 +519,7 @@ func (c *Cluster) TickAll() error {
 		ids = append(ids, id)
 	}
 	c.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var first error
 	for _, id := range ids {
 		_ = c.With(id, func(n *core.Node) {
@@ -181,19 +531,45 @@ func (c *Cluster) TickAll() error {
 	return first
 }
 
-// Close shuts down listeners and connections.
+// Stats snapshots the cluster's failure counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		FramesSent:     c.framesSent.Load(),
+		QueueFullDrops: c.queueFullDrops.Load(),
+		DownDrops:      c.downDrops.Load(),
+		ClosedDrops:    c.closedDrops.Load(),
+		WriteErrors:    c.writeErrors.Load(),
+		Dials:          c.dials.Load(),
+		DialErrors:     c.dialErrors.Load(),
+		Reconnects:     c.reconnects.Load(),
+		FramesReceived: c.framesReceived.Load(),
+		DecodeErrors:   c.decodeErrors.Load(),
+		RPCServed:      c.rpcServed.Load(),
+	}
+}
+
+// Close shuts down listeners, link workers, and connections, then drains
+// every in-flight handler. It is idempotent and safe to call concurrently
+// with Send (late sends are dropped and counted).
 func (c *Cluster) Close() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	c.closed = true
-	for _, ln := range c.listeners {
-		ln.Close()
+	members := make([]*member, 0, len(c.nodes))
+	for _, m := range c.nodes {
+		members = append(members, m)
 	}
-	for _, conn := range c.conns {
-		conn.Close()
-	}
-	c.conns = make(map[types.NodeID]net.Conn)
 	c.mu.Unlock()
-	c.wg.Wait()
+	close(c.quit)
+	for _, m := range members {
+		m.ln.Close()
+		m.closeConns()
+	}
+	c.wg.Wait()      // link workers (close their outbound conns on exit)
+	c.serveWg.Wait() // accept loops and inbound handlers
 }
 
 // ---------------------------------------------------------------------------
@@ -241,8 +617,19 @@ func (c *Cluster) Nodes() []types.NodeID {
 // ---------------------------------------------------------------------------
 // Framing.
 
-func writePacket(conn net.Conn, from types.NodeID, pkt *core.Packet) error {
+// frame kinds: data frames reuse core's packet kinds; audit frames live in
+// a disjoint range (rpc.go).
+const (
+	frameEnvelope = byte(core.PktEnvelope)
+	frameAck      = byte(core.PktAck)
+)
+
+// encodePacketFrame builds one length-prefixed data frame. The whole frame
+// is assembled into a single buffer so one Write transmits it — which is
+// also what lets FaultPlan treat writes as frames.
+func encodePacketFrame(from types.NodeID, pkt *core.Packet, maxFrame int) ([]byte, error) {
 	w := wire.NewWriter(256)
+	w.Raw([]byte{0, 0, 0, 0}) // length prefix, patched below
 	w.String(string(from))
 	w.Byte(byte(pkt.Kind))
 	switch pkt.Kind {
@@ -251,46 +638,75 @@ func writePacket(conn net.Conn, from types.NodeID, pkt *core.Packet) error {
 	case core.PktAck:
 		pkt.Ack.MarshalWire(w)
 	default:
-		return fmt.Errorf("transport: cannot frame packet kind %d", pkt.Kind)
+		return nil, fmt.Errorf("transport: cannot frame packet kind %d", pkt.Kind)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(w.Len()))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(w.Bytes())
-	return err
+	return finishFrame(w, maxFrame)
 }
 
-func readPacket(conn net.Conn) (types.NodeID, *core.Packet, error) {
+// finishFrame patches the length prefix and enforces the frame bound on
+// the outbound path too (a local bug must not emit frames peers reject).
+func finishFrame(w *wire.Writer, maxFrame int) ([]byte, error) {
+	buf := w.Bytes()
+	n := len(buf) - 4
+	if maxFrame > 0 && n > maxFrame {
+		return nil, fmt.Errorf("transport: frame too large (%d > %d bytes)", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed frame payload. The length is
+// adversary-controlled input: anything beyond maxFrame is rejected with a
+// checked error before any allocation, never a panic or an OOM.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return "", nil, err
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > 64<<20 {
-		return "", nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if n > uint32(maxFrame) {
+		return nil, fmt.Errorf("transport: oversized frame (%d > %d bytes)", n, maxFrame)
+	}
+	if n == 0 {
+		return nil, errors.New("transport: empty frame")
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(conn, buf); err != nil {
-		return "", nil, err
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
 	}
-	r := wire.NewReader(buf)
+	return buf, nil
+}
+
+// beginFrame parses a frame payload's common prefix (sender, kind) and
+// returns the reader positioned at the body.
+func beginFrame(payload []byte) (types.NodeID, byte, *wire.Reader, error) {
+	r := wire.NewReader(payload)
 	from := types.NodeID(r.String())
-	kind := core.PacketKind(r.Byte())
-	pkt := &core.Packet{Kind: kind}
+	kind := r.Byte()
+	if err := r.Err(); err != nil {
+		return "", 0, nil, err
+	}
+	return from, kind, r, nil
+}
+
+// decodePacketBody decodes a data frame's body into a core.Packet.
+func decodePacketBody(kind byte, r *wire.Reader) (*core.Packet, error) {
+	pkt := &core.Packet{Kind: core.PacketKind(kind)}
 	switch kind {
-	case core.PktEnvelope:
+	case frameEnvelope:
 		pkt.Envelope = new(core.Envelope)
 		r.Value(pkt.Envelope)
-	case core.PktAck:
+	case frameAck:
 		pkt.Ack = new(core.Ack)
 		r.Value(pkt.Ack)
 	default:
-		return "", nil, fmt.Errorf("transport: unknown packet kind %d", kind)
+		return nil, fmt.Errorf("transport: unknown frame kind %d", kind)
 	}
 	if err := r.Finish(); err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	return from, pkt, nil
+	return pkt, nil
 }

@@ -91,9 +91,7 @@ func TestMinCostOverTCP(t *testing.T) {
 }
 
 func TestFramingRejectsOversized(t *testing.T) {
-	// Covered implicitly by readPacket's bound; exercise the writer error
-	// path for unknown kinds.
-	if err := writePacket(nil, "a", &core.Packet{Kind: 99}); err == nil {
+	if _, err := encodePacketFrame("a", &core.Packet{Kind: 99}, DefaultMaxFrame); err == nil {
 		t.Error("unknown packet kind framed")
 	}
 }

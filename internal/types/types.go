@@ -226,7 +226,7 @@ func (t Tuple) MarshalWire(w *wire.Writer) {
 // UnmarshalWire implements wire.Unmarshaler.
 func (t *Tuple) UnmarshalWire(r *wire.Reader) error {
 	t.Rel = r.String()
-	n := r.Uint()
+	n := r.Count()
 	if r.Err() != nil {
 		return r.Err()
 	}

@@ -240,6 +240,23 @@ func (r *Reader) Float() float64 {
 	return math.Float64frombits(binary.BigEndian.Uint64(b))
 }
 
+// Count decodes an element count and validates it against the undecoded
+// bytes that remain. Every encoded element occupies at least one byte, so
+// a count past Remaining() can only come from corrupt or hostile input —
+// rejecting it here keeps a claimed count from driving an allocation far
+// larger than the input that carries it.
+func (r *Reader) Count() int {
+	n := r.Uint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrTruncated, n, len(r.buf)-r.off))
+		return 0
+	}
+	return int(n)
+}
+
 // BytesField decodes a length-prefixed byte string. The result is a copy.
 func (r *Reader) BytesField() []byte {
 	n := r.Uint()
