@@ -285,6 +285,21 @@ func (s *Speaker) Sync(node *core.Node) {
 	}
 }
 
+// Recover re-seeds the speaker's originated-prefix set from a recovered
+// node's machine state, so a speaker rebuilt in a fresh process after a
+// crash keeps originating (and exporting) the prefixes its pre-crash
+// incarnation announced. Export bookkeeping is left empty and rebuilds
+// through subsequent Syncs — re-firing an export a neighbor already
+// believes is idempotent at the tuple level.
+func (s *Speaker) Recover(node *core.Node) {
+	m := node.Machine.(*dlog.Machine)
+	for _, t := range m.TuplesOf("origin") {
+		if t.Args[0].Node() == s.Self {
+			s.origins[t.Args[1].Str] = true
+		}
+	}
+}
+
 // PreferVia installs a preference for routes whose first hop is the given
 // neighbor (a local-pref override); other candidates fall back to the
 // default ranking. Used to build policy scenarios such as BadGadget.

@@ -200,7 +200,13 @@ func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Direct
 		if err := n.rebuildMachineFromLog(); err != nil {
 			return nil, err
 		}
+		// Report before flushing: the missing-ack sweep must see only the
+		// pre-crash snd entries, not the ones the re-staged outputs are
+		// about to append (those get acked through the normal protocol).
 		n.reportUnackedAfterRecovery()
+		if err := n.flushAll(); err != nil {
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -212,9 +218,26 @@ func NewNode(id types.NodeID, cfg Config, key cryptoutil.PrivateKey, dir *Direct
 // message sequence counters. The counters matter as much as the tuples:
 // message IDs embed them, and a restarted node that reissued old IDs would
 // collide with its own pre-crash exchanges, breaking ack matching for
-// every peer and auditor. Step outputs are discarded (those sends were
-// transmitted before the crash; the log's snd entries prove it).
+// every peer and auditor.
+//
+// Step outputs are not discarded: the replay diffs them against the log's
+// snd entries, and any derived message with no matching snd entry is
+// re-staged for transmission. A crash can land between logging an input
+// and appending the snd entry for its derived output, and the logged input
+// is a commitment — the auditor's replay derives the same output and
+// treats a history that never sends it as suppression, which is provable
+// evidence. Re-staging (with the replayed machine's own deterministic
+// message IDs) makes the recovered node fulfill the commitment instead.
 func (n *Node) rebuildMachineFromLog() error {
+	var derived []types.Message
+	logged := make(map[types.MessageID]bool)
+	step := func(ev types.Event) {
+		for _, o := range n.Machine.Step(ev) {
+			if o.Kind == types.OutSend {
+				derived = append(derived, *o.Msg)
+			}
+		}
+	}
 	for seq := n.Log.FirstSeq(); seq <= n.Log.Len(); seq++ {
 		e, err := n.Log.Entry(seq)
 		if err != nil {
@@ -222,16 +245,20 @@ func (n *Node) rebuildMachineFromLog() error {
 		}
 		switch e.Type {
 		case seclog.EIns:
-			n.Machine.Step(types.Event{Kind: types.EvIns, Node: n.ID, Time: e.T,
+			step(types.Event{Kind: types.EvIns, Node: n.ID, Time: e.T,
 				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody, Replaces: e.Replaces})
 		case seclog.EDel:
-			n.Machine.Step(types.Event{Kind: types.EvDel, Node: n.ID, Time: e.T,
+			step(types.Event{Kind: types.EvDel, Node: n.ID, Time: e.T,
 				Tuple: e.Tuple, MaybeRule: e.MaybeRule, MaybeBody: e.MaybeBody})
 		case seclog.ERcv:
 			for j := range e.Msgs {
 				msg := e.Msgs[j]
-				n.Machine.Step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: e.T,
+				step(types.Event{Kind: types.EvRcv, Node: n.ID, Time: e.T,
 					Msg: &msg, SameBatch: j > 0})
+			}
+		case seclog.ESnd:
+			for i := range e.Msgs {
+				logged[e.Msgs[i].ID()] = true
 			}
 		case seclog.ECkpt:
 			// A checkpoint heading the retained log stands in for the
@@ -241,6 +268,22 @@ func (n *Node) rebuildMachineFromLog() error {
 				if err := n.Machine.Restore(e.Ckpt.MachineState); err != nil {
 					return fmt.Errorf("core: recovery restore of %s from checkpoint: %w", n.ID, err)
 				}
+			}
+		}
+	}
+	// Re-stage the outputs the crash kept out of the log. A truncated
+	// history is symmetric here: outputs derived before the retained first
+	// entry have no replayed derivation, and snd entries before it are
+	// gone, so both sides of the diff cover exactly the retained range.
+	for _, m := range derived {
+		if logged[m.ID()] {
+			continue
+		}
+		n.outQ[m.Dst] = append(n.outQ[m.Dst], m)
+		if _, ok := n.queueSince[m.Dst]; !ok {
+			n.queueSince[m.Dst] = m.SendTime
+			if i, found := slices.BinarySearch(n.dstOrder, m.Dst); !found {
+				n.dstOrder = slices.Insert(n.dstOrder, i, m.Dst)
 			}
 		}
 	}
@@ -308,6 +351,17 @@ func (n *Node) Suite() cryptoutil.Suite { return n.suite }
 // compromised nodes.
 func (n *Node) send(dst types.NodeID, pkt *Packet) {
 	if n.net == nil {
+		return
+	}
+	// Write-ahead: envelopes and acks carry signatures over the current log
+	// head, so the entries they commit to must reach the OS before the
+	// packet does. Otherwise a process crash could lose log entries that
+	// peers already hold authenticators for, and the recovered (honest)
+	// node's shorter chain would read as provable tampering under the §5.5
+	// consistency check. Flush is a buffer write, not an fsync: it makes the
+	// entries survive the process, which is the failure unit here.
+	if err := n.Log.Flush(); err != nil {
+		_ = n.fault(fmt.Errorf("core: write-ahead flush on %s: %w", n.ID, err))
 		return
 	}
 	if n.TamperPacket == nil {

@@ -1,0 +1,303 @@
+package multiproc_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/multiproc"
+	"repro/internal/supervisor"
+	"repro/internal/types"
+)
+
+// TestMain makes this test binary double as the node-daemon image: when the
+// supervisor spawns it with SNP_NODE_CONFIG set, it becomes a daemon and
+// never reaches the test runner.
+func TestMain(m *testing.M) {
+	supervisor.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// workDir prefers tmpfs (daemons fsync their log segments on sync, and
+// block-device fsync latency in CI containers can be pathological) and keeps
+// the deployment directory when the test fails, so the per-daemon logs
+// survive for CI to upload as artifacts.
+func workDir(t *testing.T) string {
+	t.Helper()
+	root := os.TempDir()
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		root = "/dev/shm"
+	}
+	dir, err := os.MkdirTemp(root, "snp-multiproc-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("deployment directory kept for post-mortem: %s", dir)
+			return
+		}
+		os.RemoveAll(dir)
+	})
+	return dir
+}
+
+// crashCase is one app with a seeded crash plan that kills two distinct
+// honest nodes: one clean SIGKILL mid-run, one SIGKILL in the middle of a
+// split segment write (a genuinely torn tail for recovery to truncate).
+type crashCase struct {
+	app   string
+	rules []supervisor.CrashRule
+	kill  types.NodeID // the ModeKill target
+	torn  types.NodeID // the ModeTorn target
+}
+
+func crashCases() []crashCase {
+	return []crashCase{
+		// Triggers sit well below the converged heads (8 for mincost, 9/5
+		// for quagga's as10/as51), so every rule fires mid-exchange even
+		// when the other crash in the plan disrupts the workload.
+		{
+			app: "mincost", kill: "c", torn: "d",
+			rules: []supervisor.CrashRule{
+				{Node: "c", Mode: supervisor.ModeKill, AtAppend: 3, Jitter: 1},
+				{Node: "d", Mode: supervisor.ModeTorn, AtAppend: 4, Jitter: 1},
+			},
+		},
+		{
+			app: "quagga", kill: "as10", torn: "as51",
+			rules: []supervisor.CrashRule{
+				{Node: "as10", Mode: supervisor.ModeKill, AtAppend: 4, Jitter: 1},
+				{Node: "as51", Mode: supervisor.ModeTorn, AtAppend: 3, Jitter: 1},
+			},
+		},
+	}
+}
+
+// TestCrashConformance re-proves the §4.2 detection guarantee when the
+// failure unit is an OS process: tamper-log armed on each app's compromised
+// node, a seeded crash plan SIGKILLing two honest nodes (one mid-append,
+// leaving a torn tail), supervised recovery bringing them back, and a full
+// over-the-wire audit afterwards. The invariant, process-crash form:
+//
+//   - provable evidence still never names an honest node — crashing is not
+//     tampering, and recovery must not make it look like tampering;
+//   - the tamperer is still provably exposed;
+//   - recovered nodes' chains still pass through their last pre-crash
+//     synced state, and healed nodes are not stuck in the lead tiers.
+func TestCrashConformance(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, cc := range crashCases() {
+		for _, seed := range seeds {
+			cc, seed := cc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", cc.app, seed), func(t *testing.T) {
+				runCrashCase(t, cc, seed)
+			})
+		}
+	}
+}
+
+func runCrashCase(t *testing.T, cc crashCase, seed int64) {
+	app, err := supervisor.AppByName(cc.app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	behaviors := make(map[types.NodeID][]string)
+	for _, id := range app.Compromised {
+		behaviors[id] = []string{"tamper-log"}
+	}
+	h, err := multiproc.New(multiproc.Options{
+		Seed:        seed,
+		Dir:         workDir(t),
+		App:         cc.app,
+		Behaviors:   behaviors,
+		Crash:       &supervisor.CrashPlan{Seed: seed, Rules: cc.rules},
+		TickMs:      5,
+		SyncEvery:   5,
+		BackoffBase: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Both planned crashes must actually fire, and the supervisor must have
+	// captured each victim's last synced state before respawning it.
+	pre, err := h.WaitCrashed(45 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre) != 2 {
+		t.Fatalf("crash plan hit %d nodes, want 2: %v", len(pre), pre)
+	}
+	if err := h.Sup.WaitHealthy(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Convergence is best-effort with a tamperer in the mix; it must never
+	// corrupt the verdict below.
+	if err := h.Sup.WaitConverged(30 * time.Second); err != nil {
+		t.Logf("note: %v (acceptable with tamper-log armed)", err)
+	}
+	h.Settle()
+
+	// Recovery preserved every pre-crash synced state: the live chain still
+	// passes through the captured (seq, hash), at or below the new head.
+	for id, st := range pre {
+		hr, err := h.VerifyRecovered(id, st)
+		if err != nil {
+			t.Errorf("recovery broke %s's chain: %v", id, err)
+			continue
+		}
+		switch id {
+		case cc.torn:
+			if hr.TornBytes == 0 {
+				t.Errorf("%s died mid-flush but recovery truncated no torn tail", id)
+			}
+		case cc.kill:
+			if hr.TornBytes != 0 {
+				t.Errorf("%s died record-aligned but recovery saw %d torn bytes", id, hr.TornBytes)
+			}
+		}
+	}
+
+	// Audit the whole deployment over the wire, with every daemon's
+	// missing-ack reports merged in first.
+	if err := h.SyncNotes(); err != nil {
+		t.Logf("note: %v", err)
+	}
+	q := h.NewQuerier()
+	v := adversary.AuditUntil(q, h.Maint, time.Now().Add(30*time.Second), 500*time.Millisecond)
+	t.Logf("verdict: %v; unreachable: %v", v, q.Unreachable())
+
+	// Accuracy, unconditionally: provable evidence only ever names the
+	// compromised set, process crashes or not.
+	if accused := v.FalselyAccused(app.Compromised); len(accused) != 0 {
+		t.Errorf("provable evidence implicates honest nodes %v\nfailures: %v\nred: %v",
+			accused, v.Failures, v.RedHosts)
+	}
+	// Completeness: tamper-log is Provable — crashes elsewhere in the
+	// deployment must not mask the tamperer.
+	bad := make(map[types.NodeID]bool)
+	for _, id := range app.Compromised {
+		bad[id] = true
+	}
+	exposed := false
+	for _, id := range v.StrongNodes() {
+		if bad[id] {
+			exposed = true
+		}
+	}
+	if !exposed {
+		t.Errorf("tamper-log on %v yielded no provable evidence: %v", app.Compromised, v)
+	}
+	// Healed crash victims answer audits again: they are neither provable
+	// evidence (checked above) nor stuck unresponsive leads.
+	for id := range pre {
+		if why, lead := v.Unresponsive[id]; lead {
+			t.Errorf("recovered node %s still unresponsive after heal: %v", id, why)
+		}
+	}
+	if failed := h.Sup.Failed(); len(failed) != 0 {
+		t.Errorf("supervisor gave up on nodes: %v", failed)
+	}
+}
+
+// TestUnreachableHealsAcrossRestart pins the querier-side degradation story
+// when a whole process dies: audits of the dead node fail and park it in
+// Unreachable (a lead, not a suspect), and after supervised recovery
+// ForgetUnreachable plus a retry audits it cleanly — no provable evidence
+// anywhere, because nothing dishonest ever happened.
+func TestUnreachableHealsAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process heal test in -short mode")
+	}
+	h, err := multiproc.New(multiproc.Options{
+		Seed:      5,
+		Dir:       workDir(t),
+		App:       "mincost",
+		TickMs:    5,
+		SyncEvery: 5,
+		// A slow respawn leaves a wide window where d is genuinely down;
+		// short audit timeouts make EnsureAudited fail inside it.
+		BackoffBase:        800 * time.Millisecond,
+		AuditCallTimeout:   150 * time.Millisecond,
+		AuditRetryDeadline: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Sup.WaitHealthy(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sup.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.Settle()
+
+	if err := h.Sup.Kill("d"); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); h.Sup.Running("d"); {
+		if time.Now().After(deadline) {
+			t.Fatal("d still running after Kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	q := h.NewQuerier()
+	if err := q.EnsureAudited("d", 0); err == nil {
+		t.Fatal("audit of a dead process succeeded")
+	}
+	if _, ok := q.Unreachable()["d"]; !ok {
+		t.Fatalf("d missing from Unreachable: %v", q.Unreachable())
+	}
+	if err := q.EnsureAudited("c", 0); err != nil {
+		t.Fatalf("audit of a live node failed: %v", err)
+	}
+
+	// Let the supervisor bring d back through crash recovery.
+	deadline := time.Now().Add(30 * time.Second)
+	for h.Sup.Restarts("d") == 0 || !h.Sup.Running("d") {
+		if time.Now().After(deadline) {
+			t.Fatalf("d not respawned: restarts=%d running=%v", h.Sup.Restarts("d"), h.Sup.Running("d"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := h.Sup.WaitHealthy(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal the querier: forget the mark, dial fresh, audit again.
+	q.ForgetUnreachable("d")
+	if _, ok := q.Unreachable()["d"]; ok {
+		t.Fatal("ForgetUnreachable left d marked")
+	}
+	f2 := h.Sup.Cluster().NewFetcher("auditor2")
+	f2.CallTimeout = time.Second
+	f2.RetryDeadline = 5 * time.Second
+	defer f2.Close()
+	q.Fetch = f2
+	if err := q.EnsureAudited("d", 0); err != nil {
+		t.Fatalf("audit after recovery failed: %v", err)
+	}
+
+	// A full audit of the healed deployment: an honest crash plus recovery
+	// must leave no provable evidence against anyone, and d must not be
+	// stuck in the unresponsive tier.
+	if err := h.SyncNotes(); err != nil {
+		t.Logf("note: %v", err)
+	}
+	v := adversary.AuditUntil(q, h.Maint, time.Now().Add(20*time.Second), 500*time.Millisecond)
+	if len(v.Failures) != 0 || len(v.RedHosts) != 0 {
+		t.Errorf("honest crash+recovery produced provable evidence: %v\nfailures: %v", v, v.Failures)
+	}
+	if why, ok := v.Unresponsive["d"]; ok {
+		t.Errorf("recovered d still unresponsive: %v", why)
+	}
+}

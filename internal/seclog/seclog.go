@@ -371,6 +371,9 @@ type Log struct {
 	store    *Store
 	hotTail  int // max resident entries when store-backed; <=0 keeps all
 	storeErr error
+	// recoveredTorn is how many torn-tail bytes Open truncated away when
+	// this log was recovered (0 for clean opens and fresh logs).
+	recoveredTorn int64
 
 	ckpts []ckptRef // retained checkpoint entries, ascending by seq
 }
@@ -687,6 +690,43 @@ func (l *Log) ColdEntries() uint64 {
 // healthy stores). A log with a sticky store error keeps serving from
 // memory, but its on-disk history can no longer be trusted for recovery.
 func (l *Log) Err() error { return l.storeErr }
+
+// StoreHooks are crash-injection points for fault testing a store-backed
+// log. AfterAppend runs after each record is staged (seq is the record's
+// sequence number); MidFlush runs between the two halves of a split group
+// write, so a hook that SIGKILLs the process leaves a torn last record on
+// disk for recovery to truncate. Both hooks run on the appending goroutine.
+type StoreHooks struct {
+	AfterAppend func(seq uint64)
+	MidFlush    func()
+}
+
+// SetStoreHooks installs crash-injection hooks on the underlying store. It
+// reports whether the log is store-backed (hooks are meaningless, and
+// ignored, for in-memory logs).
+func (l *Log) SetStoreHooks(h StoreHooks) bool {
+	if l.store == nil {
+		return false
+	}
+	l.store.hooks = h
+	return true
+}
+
+// SyncedHead returns the last durably recorded head position (sequence and
+// chain hash) — what the sidecar vouches for, and therefore the newest state
+// recovery is guaranteed to reach after a crash. It returns (0, nil) for
+// in-memory logs and stores that have never synced.
+func (l *Log) SyncedHead() (uint64, []byte) {
+	if l.store == nil {
+		return 0, nil
+	}
+	return l.store.syncedHead, append([]byte(nil), l.store.syncedHash...)
+}
+
+// RecoveredTornBytes returns how many bytes of torn tail Open truncated when
+// recovering this log (0 for clean opens, fresh logs, and in-memory logs).
+// A non-zero value is the on-disk signature of a crash mid-append.
+func (l *Log) RecoveredTornBytes() int64 { return l.recoveredTorn }
 
 // Flush hands the store's buffered appends to the operating system (one
 // positioned write for the whole group) without forcing them to stable

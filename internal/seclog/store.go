@@ -67,6 +67,10 @@ type Store struct {
 	metaPath string
 	f        *os.File
 
+	// hooks are crash-injection points for fault testing (StoreHooks); both
+	// are nil in production use.
+	hooks StoreHooks
+
 	node     types.NodeID
 	base     uint64 // sequence number of the first record in the file
 	baseHash []byte // chain hash h_{base-1}
@@ -140,17 +144,35 @@ func (s *Store) append(rec []byte) error {
 	s.offsets = append(s.offsets, off)
 	s.size = off + int64(n) + int64(len(rec))
 	if len(s.buf) >= s.bufLimit {
-		return s.flushBuf()
+		if err := s.flushBuf(); err != nil {
+			return err
+		}
+	}
+	if s.hooks.AfterAppend != nil {
+		s.hooks.AfterAppend(s.head())
 	}
 	return nil
 }
 
 // flushBuf writes the buffered records to the file in one positioned write.
+// With a MidFlush hook installed, the group is written in two parts — all but
+// the final byte, the hook, then the final byte — so a hook that kills the
+// process leaves a genuinely torn last record on disk, exactly the state a
+// machine crash mid-append produces.
 func (s *Store) flushBuf() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	if _, err := s.f.WriteAt(s.buf, s.flushed); err != nil {
+	if s.hooks.MidFlush != nil && len(s.buf) >= 2 {
+		n := len(s.buf) - 1
+		if _, err := s.f.WriteAt(s.buf[:n], s.flushed); err != nil {
+			return fmt.Errorf("seclog: store append: %w", err)
+		}
+		s.hooks.MidFlush()
+		if _, err := s.f.WriteAt(s.buf[n:], s.flushed+int64(n)); err != nil {
+			return fmt.Errorf("seclog: store append: %w", err)
+		}
+	} else if _, err := s.f.WriteAt(s.buf, s.flushed); err != nil {
 		return fmt.Errorf("seclog: store append: %w", err)
 	}
 	s.flushed += int64(len(s.buf))
@@ -212,7 +234,19 @@ func (s *Store) writeMeta(first, headSeq uint64, headHash []byte) error {
 }
 
 // readMeta loads the sidecar; ok is false when none exists (a store that was
-// never synced or truncated).
+// never synced or truncated) — or when the bytes do not decode as a sidecar.
+//
+// A missing, truncated, or garbled sidecar is treated as absent rather than
+// fatal: the sidecar is rewritten (tmp + rename) on every sync, and a crash
+// racing that rewrite on a non-atomic filesystem can leave torn bytes behind.
+// Recovery then falls back to the full-chain replay, which re-verifies every
+// record against the persisted base hash. The cost of the fallback is
+// discrimination, not safety: without a trusted synced head the store cannot
+// distinguish a tamperer who truncated the file from a crash that lost a
+// tail — the same epistemic state as a store that was never synced. The §4.2
+// guarantee is unaffected either way, because provable evidence rests on
+// peer-held authenticators, never on the node's own sidecar. Only a real I/O
+// error (unreadable file) remains fatal.
 func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -221,17 +255,26 @@ func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err
 	if err != nil {
 		return 0, 0, nil, false, fmt.Errorf("seclog: store meta: %w", err)
 	}
-	r := wire.NewReader(raw)
-	if !bytes.Equal(r.Raw(len(metaMagic)), metaMagic) {
-		return 0, 0, nil, false, fmt.Errorf("seclog: %s is not a segment-store sidecar", path)
+	if len(raw) < len(metaMagic) || !bytes.Equal(raw[:len(metaMagic)], metaMagic) {
+		return 0, 0, nil, false, nil
 	}
+	r := wire.NewReader(raw[len(metaMagic):])
 	first = r.Uint()
 	headSeq = r.Uint()
 	headHash = r.BytesField()
 	if err := r.Finish(); err != nil {
-		return 0, 0, nil, false, fmt.Errorf("seclog: store meta: %w", err)
+		return 0, 0, nil, false, nil
 	}
 	return first, headSeq, headHash, true, nil
+}
+
+// ReadSidecar reports the on-disk sidecar state for node under dir: the
+// logical first sequence and the last durably synced head (seq + chain
+// hash). ok is false when no intact sidecar exists. It reads only the small
+// sidecar file — safe to call on a live store from another process, since
+// the sidecar is replaced atomically.
+func ReadSidecar(dir string, node types.NodeID) (first, headSeq uint64, headHash []byte, ok bool, err error) {
+	return readMeta(filepath.Join(dir, metaFileName(node)))
 }
 
 // sync group-commits the buffered appends (one write, one fsync for the
@@ -414,6 +457,7 @@ func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.
 	l.hotTail = hotTail
 	l.first = first
 	l.grossBytes = gross
+	l.recoveredTorn = int64(len(raw)) - goodSize
 	l.ckpts = ckpts
 	l.pruneCkpts()
 	if first == base {

@@ -1,0 +1,240 @@
+package supervisor
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ChildConfigEnv points a child process at its NodeConfig file. The
+// supervisor sets it on every child it spawns.
+const ChildConfigEnv = "SNP_NODE_CONFIG"
+
+// MaybeChild turns the current process into a node daemon when
+// ChildConfigEnv is set, and never returns in that case. Any binary that
+// the supervisor may use as its child image (snp-node, snp-bench, test
+// binaries via TestMain) calls this first thing in main, which is how one
+// executable serves as both parent and child without a separate build.
+func MaybeChild() {
+	path := os.Getenv(ChildConfigEnv)
+	if path == "" {
+		return
+	}
+	cfg, err := LoadNodeConfig(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snp-node:", err)
+		os.Exit(2)
+	}
+	if err := RunDaemon(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "snp-node:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// die ends the process the way a crash does: SIGKILL, no deferred cleanup,
+// no flushes. The empty select covers the handful of instructions between
+// sending the signal and the kernel reaping us.
+func die() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {}
+}
+
+// installCrashRule arms a resolved crash rule on the node's log store.
+// Seq positions at or past the trigger fire it (the exact position can be
+// consumed by a batch append), whichever append gets there first.
+func installCrashRule(n *core.Node, rule *CrashRule) error {
+	if rule == nil {
+		return nil
+	}
+	trigger := rule.AtAppend
+	armed := false
+	hooks := seclog.StoreHooks{
+		MidFlush: func() {
+			if armed {
+				die()
+			}
+		},
+	}
+	// One append before the trigger, sync: the death then always happens
+	// with a synced sidecar on disk (the state recovery must preserve) and
+	// an unsynced tail at risk (the state recovery must cope with losing).
+	syncBefore := func(seq uint64) {
+		if seq+1 == trigger {
+			_ = n.Log.Sync()
+		}
+	}
+	switch rule.Mode {
+	case ModeKill:
+		hooks.AfterAppend = func(seq uint64) {
+			syncBefore(seq)
+			if seq >= trigger {
+				die()
+			}
+		}
+	case ModeTorn:
+		hooks.AfterAppend = func(seq uint64) {
+			syncBefore(seq)
+			if seq < trigger || armed {
+				return
+			}
+			// Arm the mid-flush kill and force a flush now, so the store
+			// dies between the two halves of its split write and leaves
+			// this very record torn on disk.
+			armed = true
+			_ = n.Log.Flush()
+		}
+	default:
+		return fmt.Errorf("supervisor: unknown crash mode %q", rule.Mode)
+	}
+	if !n.Log.SetStoreHooks(hooks) {
+		return fmt.Errorf("supervisor: crash rule on %s needs a store-backed log", n.ID)
+	}
+	return nil
+}
+
+// RunDaemon runs one node daemon to completion: build the node (fresh or
+// through crash recovery), arm behaviors and crash rules, serve the
+// transport, drive the workload on a wall-clock tick loop, and drain
+// gracefully on SIGTERM/SIGINT. It returns once the daemon has shut down
+// cleanly; crash rules never return (the process dies).
+func RunDaemon(cfg NodeConfig) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	app, err := AppByName(cfg.App)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stdout, string(cfg.ID)+": ", log.Ltime|log.Lmicroseconds)
+
+	tcfg := transport.DefaultConfig()
+	tcfg.Seed = cfg.Seed
+	cluster := transport.NewClusterWith(tcfg)
+	defer cluster.Close()
+	for id, addr := range cfg.Addrs {
+		if id != cfg.ID {
+			cluster.AddPeer(id, addr)
+		}
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Tprop = types.Time(cfg.Tprop())
+	ccfg.DeltaClock = ccfg.Tprop / 2
+	ccfg.CheckpointEvery = 0
+	ccfg.LogDir = cfg.DataDir
+	ccfg.LogRecover = cfg.Recover
+
+	dir := core.NewDirectory()
+	var key cryptoutil.PrivateKey
+	for i, id := range cfg.Nodes {
+		k, err := cryptoutil.PooledKey(ccfg.Suite, cfg.Seed*1000+int64(100+i))
+		if err != nil {
+			return err
+		}
+		dir.Register(id, k.Public())
+		if id == cfg.ID {
+			key = k
+		}
+	}
+	maint := core.NewMaintainer()
+	node, err := core.NewNode(cfg.ID, ccfg, key, dir, maint,
+		transport.WallClock{}, cluster, app.Factory(cfg.ID))
+	if err != nil {
+		return fmt.Errorf("supervisor: starting %s: %w", cfg.ID, err)
+	}
+	for _, name := range cfg.Behaviors {
+		p, ok := adversary.ProfileByName(name)
+		if !ok {
+			return fmt.Errorf("supervisor: unknown behavior %q on %s", name, cfg.ID)
+		}
+		p.New().Install(node)
+	}
+	if err := installCrashRule(node, cfg.Crash); err != nil {
+		return err
+	}
+	cluster.SetMaintainer(maint)
+	if app.Probe != nil {
+		cluster.SetProbe(cfg.ID, app.Probe)
+	}
+	if _, err := cluster.Serve(node, cfg.Addrs[cfg.ID]); err != nil {
+		return err
+	}
+
+	switch {
+	case cfg.Recover:
+		logger.Printf("recovered: head=%d torn=%dB", node.Log.Len(), node.Log.RecoveredTornBytes())
+		if app.Recovered != nil {
+			if err := cluster.With(cfg.ID, func(n *core.Node) { app.Recovered(n) }); err != nil {
+				return err
+			}
+		}
+	default:
+		logger.Printf("serving on %s", cfg.Addrs[cfg.ID])
+		if app.Start != nil {
+			var startErr error
+			if err := cluster.With(cfg.ID, func(n *core.Node) { startErr = app.Start(n) }); err != nil {
+				return err
+			}
+			if startErr != nil {
+				return startErr
+			}
+		}
+	}
+
+	// Publish a sidecar before the first crash trigger can fire, so the
+	// supervisor always has a synced state to hold recovery against.
+	if err := cluster.With(cfg.ID, func(n *core.Node) { _ = n.Log.Sync() }); err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	ticker := time.NewTicker(time.Duration(cfg.TickMs) * time.Millisecond)
+	defer ticker.Stop()
+	tick := 0
+	for {
+		select {
+		case s := <-sig:
+			logger.Printf("%v: draining", s)
+			cluster.Drain(2 * time.Second)
+			if err := cluster.StopNode(cfg.ID); err != nil {
+				return err
+			}
+			if err := node.Log.Sync(); err != nil {
+				return err
+			}
+			if err := node.Log.Close(); err != nil {
+				return err
+			}
+			logger.Printf("stopped at head=%d", node.Log.Len())
+			return nil
+		case <-ticker.C:
+			tick++
+			if err := cluster.With(cfg.ID, func(n *core.Node) {
+				if app.Step != nil {
+					app.Step(n, tick)
+				}
+			}); err != nil {
+				return err
+			}
+			_ = cluster.TickAll()
+			if tick%cfg.SyncEvery == 0 {
+				if err := cluster.With(cfg.ID, func(n *core.Node) { _ = n.Log.Sync() }); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package transport
+
+// Liveness and recovery probes for multi-process deployments: a supervisor
+// (or test harness) in one process asks a node daemon in another "are you
+// up, what is your log head, did you recover, and did your workload
+// converge?" over the same framed-TCP audit channel the queriers use. The
+// companion notes RPC exports a process's local missing-ack reports so an
+// auditor in another process can merge every node's §5.4 leads before
+// scoring evidence.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Health/notes frame kinds (the upper end of the RPC range; isRPCKind spans
+// frameRetrieveReq..frameNotesResp).
+const (
+	frameHealthReq  byte = 0x16
+	frameHealthResp byte = 0x17
+	frameNotesReq   byte = 0x18
+	frameNotesResp  byte = 0x19
+)
+
+// Health is one node's liveness report: the live log head, the last durably
+// synced (sidecar-recorded) position, crash-recovery forensics, the node's
+// sticky fault state, and the app-level convergence probe. ProbeHash echoes
+// the chain hash at the caller-chosen ProbeSeq, which is how a supervisor
+// verifies that a restarted node's chain still passes through the state it
+// had synced before the crash.
+type Health struct {
+	Node       types.NodeID
+	HeadSeq    uint64
+	HeadHash   []byte
+	SyncedSeq  uint64
+	SyncedHash []byte
+	// ProbeSeq/ProbeHash: the request's probe position and the chain hash
+	// there (empty when the position is not retained).
+	ProbeSeq  uint64
+	ProbeHash []byte
+	// TornBytes is how many torn-tail bytes crash recovery truncated when
+	// this process opened its store (0 for clean starts).
+	TornBytes int64
+	// Converged reports the cluster-installed app probe (false when none).
+	Converged bool
+	// Fault carries the node's sticky fault, if any ("" when healthy).
+	Fault string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (h Health) MarshalWire(w *wire.Writer) {
+	w.String(string(h.Node))
+	w.Uint(h.HeadSeq)
+	w.BytesField(h.HeadHash)
+	w.Uint(h.SyncedSeq)
+	w.BytesField(h.SyncedHash)
+	w.Uint(h.ProbeSeq)
+	w.BytesField(h.ProbeHash)
+	w.Int(h.TornBytes)
+	w.Bool(h.Converged)
+	w.String(h.Fault)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (h *Health) UnmarshalWire(r *wire.Reader) error {
+	h.Node = types.NodeID(r.String())
+	h.HeadSeq = r.Uint()
+	h.HeadHash = r.BytesField()
+	h.SyncedSeq = r.Uint()
+	h.SyncedHash = r.BytesField()
+	h.ProbeSeq = r.Uint()
+	h.ProbeHash = r.BytesField()
+	h.TornBytes = r.Int()
+	h.Converged = r.Bool()
+	h.Fault = r.String()
+	return r.Err()
+}
+
+// SetMaintainer installs the process-local maintainer whose missing-ack
+// notes the notes RPC serves. Daemons call it once at startup; a cluster
+// without one answers notes requests with an empty list.
+func (c *Cluster) SetMaintainer(m *core.Maintainer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maint = m
+}
+
+// SetProbe installs an app-level convergence probe for a local node,
+// reported in health responses. The probe runs under the node's lock.
+func (c *Cluster) SetProbe(id types.NodeID, probe func(*core.Node) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probes[id] = probe
+}
+
+// buildHealth assembles the health report for a member under its lock.
+func (c *Cluster) buildHealth(m *member, probeSeq uint64) Health {
+	c.mu.Lock()
+	probe := c.probes[m.node.ID]
+	c.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.node
+	h := Health{
+		Node:      n.ID,
+		HeadSeq:   n.Log.Len(),
+		HeadHash:  n.Log.HeadHash(),
+		TornBytes: n.Log.RecoveredTornBytes(),
+	}
+	h.SyncedSeq, h.SyncedHash = n.Log.SyncedHead()
+	if probeSeq > 0 {
+		h.ProbeSeq = probeSeq
+		if hash, err := n.Log.Hash(probeSeq); err == nil {
+			h.ProbeHash = hash
+		}
+	}
+	if probe != nil {
+		h.Converged = probe(n)
+	}
+	if err := n.Err(); err != nil {
+		h.Fault = err.Error()
+	}
+	return h
+}
+
+// Health asks node for a liveness report over the wire. probeSeq, when
+// non-zero, requests the chain hash at that position (see Health.ProbeHash);
+// pass 0 to skip the probe.
+func (f *RemoteFetcher) Health(node types.NodeID, probeSeq uint64) (Health, error) {
+	var h Health
+	err := f.call(node, frameHealthReq, frameHealthResp,
+		func(w *wire.Writer) { w.Uint(probeSeq) },
+		func(r *wire.Reader) error {
+			r.Value(&h)
+			return r.Finish()
+		})
+	return h, err
+}
+
+// Notes fetches node's process-local missing-ack reports (§5.4 leads), so a
+// cross-process auditor can merge every daemon's maintainer state before
+// scoring evidence.
+func (f *RemoteFetcher) Notes(node types.NodeID) ([]core.MissingAckNote, error) {
+	var out []core.MissingAckNote
+	err := f.call(node, frameNotesReq, frameNotesResp, nil,
+		func(r *wire.Reader) error {
+			n := r.Count() // adversary-controlled; bounded against input size
+			if err := r.Err(); err != nil {
+				return err
+			}
+			out = make([]core.MissingAckNote, n)
+			for i := range out {
+				out[i].Reporter = types.NodeID(r.String())
+				out[i].ID.Src = types.NodeID(r.String())
+				out[i].ID.Dst = types.NodeID(r.String())
+				out[i].ID.Seq = r.Uint()
+			}
+			return r.Finish()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Drain waits until every outbound link queue is empty (all staged frames
+// handed to the link workers' connections or dropped), or until timeout. It
+// reports whether the queues drained. A daemon shutting down gracefully
+// drains before Close so already-staged envelopes and acks reach peers
+// instead of dying in the queues.
+func (c *Cluster) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.queuesEmpty() {
+			// Queues are empty; give the workers one write's worth of time
+			// to finish the frame they may hold in flight.
+			time.Sleep(5 * time.Millisecond)
+			if c.queuesEmpty() {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) queuesEmpty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.peers {
+		if len(p.q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// serveHealthRPC answers the health/notes frame kinds (split out of
+// serveRPC's switch; same framing contract).
+func (c *Cluster) serveHealthRPC(m *member, kind byte, reqID uint64, r *wire.Reader, w *wire.Writer) error {
+	switch kind {
+	case frameHealthReq:
+		probeSeq := r.Uint()
+		if err := r.Finish(); err != nil {
+			c.decodeErrors.Add(1)
+			return err
+		}
+		w.Byte(frameHealthResp)
+		w.Uint(reqID)
+		w.Bool(true)
+		c.buildHealth(m, probeSeq).MarshalWire(w)
+	case frameNotesReq:
+		if err := r.Finish(); err != nil {
+			c.decodeErrors.Add(1)
+			return err
+		}
+		c.mu.Lock()
+		maint := c.maint
+		c.mu.Unlock()
+		notes := maint.Notes() // nil-safe: returns nil for a nil maintainer
+		w.Byte(frameNotesResp)
+		w.Uint(reqID)
+		w.Bool(true)
+		w.Uint(uint64(len(notes)))
+		for _, n := range notes {
+			w.String(string(n.Reporter))
+			w.String(string(n.ID.Src))
+			w.String(string(n.ID.Dst))
+			w.Uint(n.ID.Seq)
+		}
+	default:
+		c.decodeErrors.Add(1)
+		return fmt.Errorf("transport: unknown audit frame kind %d", kind)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/apps/mincost"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/dlog"
+	"repro/internal/types"
+)
+
+// serveTestNodes builds and serves n mincost nodes (ids a, b, c, ...) on the
+// cluster, store-backed when dir is non-empty.
+func serveTestNodes(t *testing.T, cluster *Cluster, n int, dir string) ([]types.NodeID, *core.Maintainer) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Tprop = 5 * types.Second
+	cfg.DeltaClock = types.Second
+	cfg.CheckpointEvery = 0
+	cfg.LogDir = dir
+	d := core.NewDirectory()
+	maint := core.NewMaintainer()
+	prog := mincost.Program()
+	var ids []types.NodeID
+	for i := 0; i < n; i++ {
+		id := types.NodeID(string(rune('a' + i)))
+		ids = append(ids, id)
+		key, err := cryptoutil.PooledKey(cfg.Suite, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Register(id, key.Public())
+	}
+	for i, id := range ids {
+		key, _ := cryptoutil.PooledKey(cfg.Suite, int64(100+i))
+		node, err := core.NewNode(id, cfg, key, d, maint, WallClock{}, cluster,
+			dlog.NewMachine(prog, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cluster.Serve(node, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids, maint
+}
+
+// TestHealthRPC covers the supervisor's probe path end to end: log head and
+// synced-head reporting, chain-hash probes at a chosen position, the
+// convergence probe, and cross-process maintainer-note export.
+func TestHealthRPC(t *testing.T) {
+	cluster := NewCluster()
+	defer cluster.Close()
+	ids, maint := serveTestNodes(t, cluster, 2, t.TempDir())
+	a := ids[0]
+	cluster.SetMaintainer(maint)
+	cluster.SetProbe(a, func(n *core.Node) bool { return n.Log.Len() >= 2 })
+
+	if err := cluster.With(a, func(n *core.Node) {
+		n.InsertBase(mincost.Link(a, ids[1], 3))
+		n.InsertBase(mincost.Link(a, ids[1], 4))
+		if err := n.Log.Sync(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wantHead uint64
+	var wantHash, wantAt1 []byte
+	_ = cluster.With(a, func(n *core.Node) {
+		wantHead = n.Log.Len()
+		wantHash = n.Log.HeadHash()
+		wantAt1, _ = n.Log.Hash(1)
+	})
+
+	f := cluster.NewFetcher("probe")
+	defer f.Close()
+	h, err := f.Health(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Node != a || h.HeadSeq != wantHead || !bytes.Equal(h.HeadHash, wantHash) {
+		t.Errorf("health head = (%s, %d, %x), want (%s, %d, %x)", h.Node, h.HeadSeq, h.HeadHash, a, wantHead, wantHash)
+	}
+	if h.SyncedSeq != wantHead || !bytes.Equal(h.SyncedHash, wantHash) {
+		t.Errorf("health synced = (%d, %x), want the synced head (%d, %x)", h.SyncedSeq, h.SyncedHash, wantHead, wantHash)
+	}
+	if h.ProbeSeq != 1 || !bytes.Equal(h.ProbeHash, wantAt1) {
+		t.Errorf("probe hash at 1 = %x, want %x", h.ProbeHash, wantAt1)
+	}
+	if !h.Converged {
+		t.Error("convergence probe not reported")
+	}
+	if h.Fault != "" {
+		t.Errorf("unexpected fault: %s", h.Fault)
+	}
+	if h.TornBytes != 0 {
+		t.Errorf("TornBytes = %d on a fresh store", h.TornBytes)
+	}
+	// An out-of-range probe position yields an empty hash, not an error.
+	h2, err := f.Health(a, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.ProbeHash) != 0 {
+		t.Error("out-of-range probe returned a hash")
+	}
+
+	// Notes: the §5.4 missing-ack export.
+	id := types.MessageID{Src: a, Dst: ids[1], Seq: 7}
+	maint.NotifyMissingAck(a, id)
+	notes, err := f.Notes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 || notes[0].Reporter != a || notes[0].ID != id {
+		t.Errorf("notes = %v, want one note (%s, %v)", notes, a, id)
+	}
+
+	// Health against an address nobody serves fails with a checked error.
+	cluster.AddPeer("ghost", "127.0.0.1:1")
+	f.RetryDeadline = 200 * time.Millisecond
+	f.CallTimeout = 100 * time.Millisecond
+	if _, err := f.Health("ghost", 0); err == nil {
+		t.Error("health of an unreachable node succeeded")
+	}
+	if !cluster.Drain(time.Second) {
+		t.Error("idle cluster failed to drain")
+	}
+}

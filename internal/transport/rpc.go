@@ -33,7 +33,7 @@ const (
 	frameAuthsResp    byte = 0x15
 )
 
-func isRPCKind(k byte) bool { return k >= frameRetrieveReq && k <= frameAuthsResp }
+func isRPCKind(k byte) bool { return k >= frameRetrieveReq && k <= frameNotesResp }
 
 // serveRPC answers one audit request on the connection it arrived on. The
 // node lock is held only for the node call itself; encoding and the
@@ -101,6 +101,10 @@ func (c *Cluster) serveRPC(m *member, conn net.Conn, from types.NodeID, kind byt
 		w.Uint(uint64(len(auths)))
 		for i := range auths {
 			auths[i].MarshalWire(w)
+		}
+	case frameHealthReq, frameNotesReq:
+		if err := c.serveHealthRPC(m, kind, reqID, r, w); err != nil {
+			return err
 		}
 	default:
 		c.decodeErrors.Add(1)

@@ -152,6 +152,8 @@ type Cluster struct {
 	addrs   map[types.NodeID]string
 	nodes   map[types.NodeID]*member
 	peers   map[linkKey]*peer
+	maint   *core.Maintainer                       // served by the notes RPC
+	probes  map[types.NodeID]func(*core.Node) bool // health convergence probes
 	closed  bool
 	quit    chan struct{}
 	wg      sync.WaitGroup // peer workers
@@ -224,11 +226,12 @@ func NewCluster() *Cluster { return NewClusterWith(Config{}) }
 // NewClusterWith returns an empty cluster with the given configuration.
 func NewClusterWith(cfg Config) *Cluster {
 	return &Cluster{
-		cfg:   cfg.withDefaults(),
-		addrs: make(map[types.NodeID]string),
-		nodes: make(map[types.NodeID]*member),
-		peers: make(map[linkKey]*peer),
-		quit:  make(chan struct{}),
+		cfg:    cfg.withDefaults(),
+		addrs:  make(map[types.NodeID]string),
+		nodes:  make(map[types.NodeID]*member),
+		peers:  make(map[linkKey]*peer),
+		probes: make(map[types.NodeID]func(*core.Node) bool),
+		quit:   make(chan struct{}),
 	}
 }
 
