@@ -264,9 +264,9 @@ func main() {
 		}
 		_ = quagga.Net.CloseLogs()
 		for _, cfgName := range []eval.ConfigName{eval.ChordSmall, eval.ChordLarge} {
-			res, err := eval.Run(cfgName, o)
-			if err != nil {
-				log.Fatal(err)
+			res, runErr := eval.Run(cfgName, o)
+			if runErr != nil {
+				log.Fatal(runErr)
 			}
 			if row, err := eval.ChordLookupQuery(res); err == nil {
 				fmt.Println(" ", row)

@@ -1,0 +1,271 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata trees
+// and checks its diagnostics against // want comments, mirroring the
+// upstream x/tools package of the same name.
+//
+// Layout: <testdata>/src/<importpath>/*.go. A testdata package may import
+// other testdata packages (resolved under src/ first — so a stub of
+// repro/internal/wire can stand in for the real one) and the standard
+// library (resolved from compiler export data via the go tool).
+//
+// Expectations ride on the offending line:
+//
+//	xs := make([]T, n) // want `sized by wire-decoded integer`
+//
+// Each finding must match one want (same file and line, regexp matches the
+// message) and each want must be consumed. Suppression comments
+// (//snpvet:allow) behave exactly as under cmd/snp-vet, because the run
+// goes through the same driver.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+// Run loads the named testdata packages (and their testdata/stdlib deps),
+// applies the analyzer through the standard driver, and reports any
+// mismatch against // want comments as test errors. It returns the driver
+// and load results for extra assertions (fact round-trips, suppression
+// reports).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) (*driver.Result, *load.Result) {
+	t.Helper()
+	loaded, err := loadTestdata(testdata, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.RunLoaded(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, loaded, res)
+	return res, loaded
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+var wantTokRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants matches findings against want comments.
+func checkWants(t *testing.T, loaded *load.Result, res *driver.Result) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, pkg := range loaded.Pkgs {
+		for i, name := range pkg.Filenames {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = pkg.Files[i]
+			for ln, text := range strings.Split(string(data), "\n") {
+				m := wantRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, tok := range wantTokRe.FindAllStringSubmatch(m[1], -1) {
+					pat := tok[1]
+					if pat == "" {
+						pat = tok[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, ln+1, pat, err)
+					}
+					k := wantKey{name, ln + 1}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, f := range res.Findings {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		idx := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+	}
+	var keys []wantKey
+	for k, res := range wants {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, re)
+		}
+	}
+}
+
+// loadTestdata parses and type-checks the requested testdata packages and
+// every testdata package they transitively import, dependencies first.
+func loadTestdata(testdata string, pkgs []string) (*load.Result, error) {
+	src, absErr := filepath.Abs(filepath.Join(testdata, "src"))
+	if absErr != nil {
+		return nil, absErr
+	}
+	fset := token.NewFileSet()
+
+	type tdPkg struct {
+		path    string
+		files   []*ast.File
+		names   []string
+		imports []string
+	}
+	parsed := map[string]*tdPkg{}
+	var stdImports []string
+
+	// Parse the requested packages and their testdata imports, collecting
+	// stdlib imports for one export-data listing.
+	var parse func(path string) error
+	parse = func(path string) error {
+		if parsed[path] != nil {
+			return nil
+		}
+		dir := filepath.Join(src, path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("analysistest: package %s: %v", path, err)
+		}
+		p := &tdPkg{path: path}
+		parsed[path] = p
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			name := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			p.files = append(p.files, f)
+			p.names = append(p.names, name)
+			for _, imp := range f.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if st, err := os.Stat(filepath.Join(src, ipath)); err == nil && st.IsDir() {
+					p.imports = append(p.imports, ipath)
+					if err := parse(ipath); err != nil {
+						return err
+					}
+				} else {
+					stdImports = append(stdImports, ipath)
+				}
+			}
+		}
+		if len(p.files) == 0 {
+			return fmt.Errorf("analysistest: package %s has no Go files", path)
+		}
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := parse(p); err != nil {
+			return nil, err
+		}
+	}
+
+	exports, err := load.StdExports(dedup(stdImports))
+	if err != nil {
+		return nil, err
+	}
+	gcImporter := importer.ForCompiler(fset, "gc", load.ExportLookup(exports))
+
+	// Topologically order testdata packages (dependencies first).
+	var order []*tdPkg
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysistest: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, imp := range parsed[path].imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, parsed[path])
+		return nil
+	}
+	var paths []string
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	checked := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp := checked[path]; tp != nil {
+			return tp, nil
+		}
+		return gcImporter.Import(path)
+	})
+	res := &load.Result{Fset: fset}
+	for _, p := range order {
+		tpkg, info, err := load.Check(p.path, fset, p.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[p.path] = tpkg
+		res.Pkgs = append(res.Pkgs, &load.Package{
+			Path: p.path, Dir: filepath.Join(src, p.path),
+			Filenames: p.names, Files: p.files, Types: tpkg, Info: info,
+		})
+	}
+	return res, nil
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeObj resolves the object a call expression statically invokes: a
+// package-level function, a concrete or interface method, a builtin, or
+// nil for dynamic calls through function values it cannot see through.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Func).
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// Callee is CalleeObj narrowed to functions and methods.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := CalleeObj(info, call).(*types.Func)
+	return fn
+}
+
+// IsAbstractMethod reports whether fn is an interface method (no body
+// anywhere to analyze).
+func IsAbstractMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// NamedReceiver returns the named type of a method's receiver (through one
+// pointer), or nil.
+func NamedReceiver(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

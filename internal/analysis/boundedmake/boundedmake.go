@@ -1,0 +1,296 @@
+// Package boundedmake enforces the bounded-decode invariant: an allocation
+// whose size comes from a wire-decoded integer must validate that integer
+// against the bytes actually present, by decoding it with
+// wire.Reader.Count instead of wire.Reader.Uint.
+//
+// The shape it flags is exactly the FuzzFrameDecode crasher — a hostile
+// count in a few bytes of input driving a multi-gigabyte make:
+//
+//	n := r.Uint()                  // attacker-controlled
+//	xs := make([]T, n)             // ~224GB for a 10-byte frame
+//
+// The fix shape it accepts:
+//
+//	n := r.Count()                 // validated against r.Remaining()
+//	xs := make([]T, n)
+//
+// Tracking is a per-function taint walk: variables assigned from
+// wire.Reader.Uint/Int or encoding/binary varint readers are tainted;
+// taint propagates through conversions and arithmetic, and clears when the
+// variable is reassigned from anything clean (Count, len, a constant) or
+// re-bounded by an explicit `if n > uint64(r.Remaining())`-style guard
+// that exits. make() with a tainted size argument is a finding.
+package boundedmake
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// WirePkg is the import path of the canonical encoding package; its Reader
+// is the decode boundary the invariant is defined against.
+var WirePkg = "repro/internal/wire"
+
+// Analyzer is the boundedmake analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedmake",
+	Doc:  "forbid allocations sized by wire-decoded integers that bypassed wire.Reader.Count",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// taintSource classifies a call as producing an attacker-controlled count.
+// It returns a human-readable source name, or "".
+func taintSource(pass *analysis.Pass, call *ast.CallExpr) string {
+	callee := analysis.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return ""
+	}
+	if named := analysis.NamedReceiver(callee); named != nil {
+		if named.Obj().Name() == "Reader" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == WirePkg {
+			switch callee.Name() {
+			case "Uint", "Int":
+				return "wire.Reader." + callee.Name()
+			}
+		}
+		return ""
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "encoding/binary" {
+		switch callee.Name() {
+		case "ReadUvarint", "ReadVarint", "Uvarint", "Varint":
+			return "binary." + callee.Name()
+		}
+	}
+	return ""
+}
+
+// isRemainingCall reports whether expr contains a call to a method named
+// Remaining or Len on the wire Reader (the re-bounding guard shape).
+func isRemainingCall(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if named := analysis.NamedReceiver(callee); named != nil &&
+			named.Obj().Name() == "Reader" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == WirePkg && callee.Name() == "Remaining" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// tainted maps a variable object to the name of the wire source its
+	// current value came from.
+	tainted := map[types.Object]string{}
+
+	// exprTaint reports the source if expr's value derives from a tainted
+	// variable or directly from a taint-source call.
+	exprTaint := func(expr ast.Expr) string {
+		src := ""
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if src != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					if s, ok := tainted[obj]; ok {
+						src = s
+					}
+				}
+			case *ast.CallExpr:
+				if s := taintSource(pass, n); s != "" {
+					src = s
+					return false
+				}
+			}
+			return true
+		})
+		return src
+	}
+
+	// The walk visits statements in syntactic order, which tracks
+	// execution order closely enough for decode functions (straight-line
+	// reads with loops over elements).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Check RHS make() calls against the pre-assignment taint,
+			// then update taint for the LHS. Recursion is cut off, so the
+			// nested walk below is the only visit these calls get.
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						reportTaintedMake(pass, call, exprTaint)
+					}
+					return true
+				})
+			}
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				// n := r.Uint()  /  v, err := binary.ReadUvarint(r):
+				// the first variable carries the decoded count.
+				src := exprTaint(n.Rhs[0])
+				setTaint(pass, tainted, n.Lhs[0], src)
+				for _, lhs := range n.Lhs[1:] {
+					setTaint(pass, tainted, lhs, "")
+				}
+			} else {
+				for i, lhs := range n.Lhs {
+					src := ""
+					if i < len(n.Rhs) {
+						src = exprTaint(n.Rhs[i])
+					}
+					setTaint(pass, tainted, lhs, src)
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			// var n = r.Uint()
+			for _, v := range n.Values {
+				ast.Inspect(v, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						reportTaintedMake(pass, call, exprTaint)
+					}
+					return true
+				})
+			}
+			for i, name := range n.Names {
+				src := ""
+				if len(n.Values) == 1 && i == 0 {
+					src = exprTaint(n.Values[0])
+				} else if i < len(n.Values) {
+					src = exprTaint(n.Values[i])
+				}
+				setTaint(pass, tainted, name, src)
+			}
+			return false
+		case *ast.IfStmt:
+			// Guard shape: `if n > uint64(r.Remaining()) { return/break }`
+			// re-bounds n for everything after the if. The guard's own
+			// condition and exiting body contain no allocations to check,
+			// so clearing before the children are walked is sound.
+			if cleared := guardedVar(pass, n); cleared != nil {
+				delete(tainted, cleared)
+			}
+			return true
+		case *ast.CallExpr:
+			// Each call node is visited individually by the recursion, so
+			// check only this one (no nested walk: that would double-report
+			// makes inside call arguments).
+			reportTaintedMake(pass, n, exprTaint)
+			return true
+		}
+		return true
+	})
+}
+
+func setTaint(pass *analysis.Pass, tainted map[types.Object]string, lhs ast.Expr, src string) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if src == "" {
+		delete(tainted, obj)
+	} else {
+		tainted[obj] = src
+	}
+}
+
+// guardedVar recognizes an exiting bounds check against the reader's
+// remaining bytes and returns the re-bounded variable.
+func guardedVar(pass *analysis.Pass, ifs *ast.IfStmt) types.Object {
+	if len(ifs.Body.List) == 0 {
+		return nil
+	}
+	switch ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+	default:
+		return nil
+	}
+	var obj types.Object
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var varSide ast.Expr
+		switch bin.Op {
+		case token.GTR, token.GEQ:
+			if isRemainingCall(pass, bin.Y) {
+				varSide = bin.X
+			}
+		case token.LSS, token.LEQ:
+			if isRemainingCall(pass, bin.X) {
+				varSide = bin.Y
+			}
+		}
+		if varSide == nil {
+			return true
+		}
+		for {
+			// Strip conversions like uint64(n).
+			if call, ok := ast.Unparen(varSide).(*ast.CallExpr); ok && len(call.Args) == 1 {
+				varSide = call.Args[0]
+				continue
+			}
+			break
+		}
+		if id, ok := ast.Unparen(varSide).(*ast.Ident); ok {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		return true
+	})
+	return obj
+}
+
+// reportTaintedMake reports call if it is a make whose size argument is
+// tainted.
+func reportTaintedMake(pass *analysis.Pass, call *ast.CallExpr, exprTaint func(ast.Expr) string) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if src := exprTaint(arg); src != "" {
+			pass.Reportf(call.Pos(),
+				"make sized by wire-decoded integer from %s; decode the count with wire.Reader.Count so it is validated against the input", src)
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundedmake"
+)
+
+func TestBoundedMake(t *testing.T) {
+	analysistest.Run(t, "testdata", boundedmake.Analyzer, "bm")
+}

@@ -1,0 +1,78 @@
+// Package bm exercises boundedmake: allocations sized by wire-decoded
+// integers must come through wire.Reader.Count.
+package bm
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+// Entry stands in for a decoded element.
+type Entry struct{ ID uint64 }
+
+// UnvalidatedCount is the previously-live seclog shape (the FuzzFrameDecode
+// crasher): a hostile count in a few bytes of input drives the make.
+func UnvalidatedCount(r *wire.Reader) []Entry {
+	n := r.Uint()
+	es := make([]Entry, n) // want `make sized by wire-decoded integer from wire.Reader.Uint`
+	return es
+}
+
+// ConvertedCount shows taint surviving a conversion.
+func ConvertedCount(r *wire.Reader) []byte {
+	n := r.Uint()
+	return make([]byte, int(n)) // want `from wire.Reader.Uint`
+}
+
+// MapPresize shows the map-capacity variant via the signed decoder.
+func MapPresize(r *wire.Reader) map[uint64]Entry {
+	n := r.Int()
+	return make(map[uint64]Entry, n) // want `from wire.Reader.Int`
+}
+
+// ValidatedCount is the fix shape: Count validates against Remaining.
+func ValidatedCount(r *wire.Reader) []Entry {
+	n := r.Count()
+	return make([]Entry, n)
+}
+
+// GuardedCount re-bounds an unvalidated count with an explicit exiting
+// guard, which clears the taint.
+func GuardedCount(r *wire.Reader) []Entry {
+	n := r.Uint()
+	if n > uint64(r.Remaining()) {
+		return nil
+	}
+	return make([]Entry, n)
+}
+
+// VarintCount taints through encoding/binary's in-memory varint decoder.
+func VarintCount(data []byte) []Entry {
+	n, _ := binary.Uvarint(data)
+	es := make([]Entry, n) // want `from binary.Uvarint`
+	return es
+}
+
+// StreamVarint taints through the streaming varint reader.
+func StreamVarint(br *bytes.Reader) []Entry {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil
+	}
+	es := make([]Entry, n) // want `from binary.ReadUvarint`
+	return es
+}
+
+// ConstantSize is clean: nothing wire-decoded feeds the size.
+func ConstantSize() []Entry {
+	return make([]Entry, 16)
+}
+
+// Reassigned is clean after the count is overwritten from a clean source.
+func Reassigned(r *wire.Reader) []Entry {
+	n := r.Uint()
+	n = 8
+	return make([]Entry, n)
+}

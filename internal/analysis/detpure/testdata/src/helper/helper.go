@@ -1,0 +1,19 @@
+// Package helper is a non-deterministic testdata package: detpure exports
+// Impure facts for its functions but reports nothing here, because the
+// package is not on the Deterministic list.
+package helper
+
+import "time"
+
+// WallDeadline reads the wall clock; detpure attaches an Impure fact so
+// deterministic callers in other packages are flagged.
+func WallDeadline() time.Time { return time.Now() }
+
+// Clock carries impurity on a method, exercising the Recv.Name fact path.
+type Clock struct{}
+
+// Stamp reads the wall clock through a method.
+func (Clock) Stamp() time.Time { return time.Now() }
+
+// Pure is fine and gets no fact.
+func Pure() int { return 42 }

@@ -1,0 +1,126 @@
+// Package maporder enforces the iteration-order half of the determinism
+// invariant: in deterministic packages, ranging over a map while feeding a
+// wire encoder, a hash chain, a log append, or an emitted metric series
+// bakes Go's randomized map order into bytes that must be bit-identical
+// across replays. The sanctioned idiom is to collect and sort the keys,
+// then iterate the sorted slice.
+//
+// The analyzer flags a `for ... range m` over a map whose body reaches a
+// deterministic sink:
+//
+//   - a method on wire.Writer (canonical encoding)
+//   - hash.Hash.Write / Sum (chain hashes, Merkle nodes)
+//   - an Append* method on a type in a deterministic package (log appends)
+//   - testing.B.ReportMetric (emitted metric series)
+//
+// Ranges that only accumulate into a map/slice that is later sorted are
+// not flagged — the sink, not the traversal, is what serializes order.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detpure"
+)
+
+// WirePkg is the canonical-encoding package whose Writer is a sink.
+var WirePkg = "repro/internal/wire"
+
+// Deterministic shares detpure's package list by default.
+var Deterministic []string
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid ranging over maps into wire encoders, hashes, log appends, or metric series in deterministic packages",
+	Run:  run,
+}
+
+func deterministic(path string) bool {
+	list := Deterministic
+	if list == nil {
+		list = detpure.Deterministic
+	}
+	for _, p := range list {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"range over map feeds %s; map iteration order is nondeterministic — iterate sorted keys", sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink returns a description of the first order-serializing sink
+// reached in body, or "".
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Classify by the type of the receiver *expression*: hash.Hash's
+		// Write is the embedded io.Writer method, so the method's declared
+		// receiver would misattribute it.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || pass.TypesInfo.Selections[sel] == nil {
+			return true
+		}
+		recv := pass.TypesInfo.Types[sel.X].Type
+		if recv == nil {
+			return true
+		}
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, _ := recv.(*types.Named)
+		if named == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		pkg, typ, method := named.Obj().Pkg().Path(), named.Obj().Name(), sel.Sel.Name
+		switch {
+		case pkg == WirePkg && typ == "Writer":
+			sink = "a wire.Writer (canonical encoding)"
+		case pkg == "hash" && (method == "Write" || method == "Sum"):
+			sink = "a hash (chain/Merkle input)"
+		case deterministic(pkg) && strings.HasPrefix(method, "Append"):
+			sink = typ + "." + method + " (log append)"
+		case pkg == "testing" && method == "ReportMetric":
+			sink = "testing.B.ReportMetric (emitted metric series)"
+		}
+		return sink == ""
+	})
+	return sink
+}

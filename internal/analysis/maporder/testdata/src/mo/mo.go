@@ -1,0 +1,72 @@
+// Package mo exercises maporder: in deterministic packages, ranging over a
+// map must not feed order-serializing sinks.
+package mo
+
+import (
+	"crypto/sha256"
+	"sort"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// EncodeMap bakes randomized map order into the canonical encoding.
+func EncodeMap(w *wire.Writer, m map[string]uint64) {
+	for k, v := range m { // want `range over map feeds a wire.Writer`
+		w.String(k)
+		w.Uint(v)
+	}
+}
+
+// EncodeSorted is the sanctioned idiom: sort the keys, iterate the slice.
+func EncodeSorted(w *wire.Writer, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.String(k)
+		w.Uint(m[k])
+	}
+}
+
+// HashMap feeds a hash chain in map order. The sink is hash.Hash's embedded
+// Write, which the analyzer classifies by the receiver expression's type.
+func HashMap(m map[string][]byte) []byte {
+	h := sha256.New()
+	for k := range m { // want `range over map feeds a hash`
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+// CountOnly traverses without serializing order; no finding.
+func CountOnly(m map[string]uint64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Log stands in for a deterministic append-only structure.
+type Log struct{ entries []string }
+
+// AppendEntry appends one entry.
+func (l *Log) AppendEntry(e string) { l.entries = append(l.entries, e) }
+
+// FlushMap appends in map order — the historic AuthSet-by-node shape where
+// replayed log contents depended on iteration order.
+func FlushMap(l *Log, m map[string]uint64) {
+	for k := range m { // want `Log.AppendEntry \(log append\)`
+		l.AppendEntry(k)
+	}
+}
+
+// ReportAll emits a metric series in map order.
+func ReportAll(b *testing.B, m map[string]float64) {
+	for name, v := range m { // want `testing.B.ReportMetric`
+		b.ReportMetric(v, name)
+	}
+}

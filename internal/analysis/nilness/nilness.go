@@ -1,0 +1,137 @@
+// Package nilness is an in-repo, AST-level reimplementation of the core
+// check from golang.org/x/tools' nilness analyzer (the container build
+// environment is offline, so the upstream module cannot be vendored): it
+// reports uses that must dereference a variable on a path where that
+// variable is known to be nil.
+//
+// The shape it catches is the classic inverted guard:
+//
+//	if p == nil {
+//	    return p.field  // nil dereference
+//	}
+//
+// and its mirror (`if p != nil { ... } else { p.field }`). Within the
+// known-nil block the variable is cleared by any reassignment, so
+// `if p == nil { p = newP() }; p.f` is not flagged.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nilness analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of variables on paths where they are known to be nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, eq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq && ifs.Body != nil {
+				checkKnownNil(pass, obj, ifs.Body)
+			}
+			if !eq {
+				if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkKnownNil(pass, obj, els)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` (eq=true) or `x != nil` (eq=false) for
+// a plain variable x of pointer or func type (indexing a nil map or slice
+// read is legal, so only hard-dereference types are tracked).
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (types.Object, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNil(pass, x) {
+		x, y = y, x
+	} else if !isNil(pass, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Signature:
+		return obj, bin.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilConst
+}
+
+// checkKnownNil reports dereferences of obj inside block, stopping at the
+// first reassignment of obj.
+func checkKnownNil(pass *analysis.Pass, obj types.Object, block *ast.BlockStmt) {
+	reassigned := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// &x escapes; anything may reassign through the pointer.
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// p.f on a pointer p dereferences (method values on nil
+			// pointers may be legal, so only flag field selections).
+			if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					pass.Reportf(n.Pos(), "%s is nil on this path (checked at the enclosing if); dereference will panic", obj.Name())
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil on this path (checked at the enclosing if); dereference will panic", obj.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil on this path (checked at the enclosing if); call will panic", obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+// Package nl exercises nilness: dereferences on paths where the variable
+// is known nil.
+package nl
+
+// Segment stands in for a seclog segment reference.
+type Segment struct {
+	From uint64
+	next *Segment
+}
+
+// InvertedGuard is the shape behind the PR-3-era auditor crash: the nil
+// check is inverted, so the missing-segment path dereferences the nil it
+// just proved.
+func InvertedGuard(seg *Segment) uint64 {
+	if seg == nil {
+		return seg.From // want `seg is nil on this path`
+	}
+	return seg.From
+}
+
+// ElseBranch is the mirror: the else of a non-nil check.
+func ElseBranch(seg *Segment) uint64 {
+	if seg != nil {
+		return seg.From
+	} else {
+		return seg.From // want `seg is nil on this path`
+	}
+}
+
+// Deref flags an explicit pointer dereference.
+func Deref(p *uint64) uint64 {
+	if p == nil {
+		return *p // want `p is nil on this path`
+	}
+	return *p
+}
+
+// NilCall flags calling a func value known to be nil.
+func NilCall(f func() uint64) uint64 {
+	if f == nil {
+		return f() // want `f is nil on this path`
+	}
+	return f()
+}
+
+// Reassigned is clean: the nil variable is replaced before use.
+func Reassigned(seg *Segment) uint64 {
+	if seg == nil {
+		seg = &Segment{}
+		return seg.From
+	}
+	return seg.From
+}

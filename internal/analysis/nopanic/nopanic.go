@@ -1,0 +1,86 @@
+// Package nopanic enforces the audit-path error discipline hardened in
+// PR 3: packages that process peer-influenced input (core audit paths,
+// seclog, transport handlers) and the foundations they share must surface
+// failure as errors, never by panicking or exiting the process. A panic in
+// an auditor is a denial-of-service primitive — a hostile segment that
+// crashes the querier defeats the detection guarantee more cheaply than
+// forging a signature.
+//
+// The analyzer flags panic(), log.Fatal*/log.Panic*, and os.Exit in the
+// configured packages. Setup-time conveniences (Must* constructors run
+// before any peer input exists) carry //snpvet:allow nopanic with the
+// justification.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists import-path prefixes held to the no-panic policy. Repo
+// defaults; tests override.
+var Packages = []string{
+	"repro/internal/core",
+	"repro/internal/seclog",
+	"repro/internal/transport",
+	"repro/internal/types",
+	"repro/internal/simnet",
+	"repro/internal/wire",
+	"repro/internal/provgraph",
+	"repro/internal/dlog",
+}
+
+// Analyzer is the nopanic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic, log.Fatal, and os.Exit in audit-path packages; hostile input must surface as errors",
+	Run:  run,
+}
+
+func covered(path string) bool {
+	for _, p := range Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !covered(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch obj := analysis.CalleeObj(pass.TypesInfo, call).(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in audit-path package %s; return an error (hostile input must never crash the process)", pass.Pkg.Path())
+				}
+			case *types.Func:
+				if obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "log":
+					if strings.HasPrefix(obj.Name(), "Fatal") || strings.HasPrefix(obj.Name(), "Panic") {
+						pass.Reportf(call.Pos(), "log.%s in audit-path package %s; return an error instead of killing the process", obj.Name(), pass.Pkg.Path())
+					}
+				case "os":
+					if obj.Name() == "Exit" {
+						pass.Reportf(call.Pos(), "os.Exit in audit-path package %s; return an error instead of killing the process", pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package np exercises nopanic: audit-path packages surface failure as
+// errors, never by panicking or exiting the process.
+package np
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Decode shows the previously-live shape: a panic on malformed input inside
+// a decode path — a denial-of-service primitive against the auditor.
+func Decode(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input") // want `panic in audit-path package`
+	}
+	return nil
+}
+
+// WrapErr kills the process on a peer-influenced error.
+func WrapErr(err error) {
+	if err != nil {
+		log.Fatalf("decode: %v", err) // want `log.Fatalf in audit-path package`
+	}
+}
+
+// LogPanic panics through the log package.
+func LogPanic(err error) {
+	log.Panicln(err) // want `log.Panicln in audit-path package`
+}
+
+// Bail exits outright.
+func Bail() {
+	os.Exit(1) // want `os.Exit in audit-path package`
+}
+
+// Good is the sanctioned shape.
+func Good(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty input")
+	}
+	return nil
+}
+
+// MustSetup is a deploy-time convenience excused with a written reason.
+func MustSetup(err error) {
+	if err != nil {
+		panic(err) //snpvet:allow nopanic deploy-time convenience before any peer input exists
+	}
+}

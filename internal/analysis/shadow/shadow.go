@@ -1,0 +1,96 @@
+// Package shadow is an in-repo reimplementation of the vet shadow check
+// (the build environment is offline, so golang.org/x/tools cannot be
+// vendored): it reports inner declarations that shadow an outer variable
+// of the same function when the outer variable is still used after the
+// inner scope ends — the pattern where an `err :=` inside a block silently
+// diverts an assignment the code after the block believes it observed.
+//
+// Like upstream, declarations whose outer counterpart is never used again
+// are not reported (the shadow can't change behavior), and package-level
+// names are exempt (shadowing those is routine and visible).
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shadow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report inner declarations shadowing a function-local variable that is used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Uses of each object, for the "outer used afterwards" test.
+	uses := map[types.Object][]token.Pos{}
+	for id, obj := range info.Uses {
+		if _, ok := obj.(*types.Var); ok {
+			uses[obj] = append(uses[obj], id.Pos())
+		}
+	}
+
+	// Scopes owned by if/for/switch statements: a declaration in such a
+	// statement's init clause (`if v, err := f(); ...`) is visible only
+	// within that statement and sits adjacent to its use, so shadowing
+	// there is the idiom, not the footgun. Block-level `err :=` shadows —
+	// where code after the block still reads the outer variable — remain
+	// reported.
+	stmtScopes := map[*types.Scope]bool{}
+	for node, scope := range info.Scopes {
+		switch node.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			stmtScopes[scope] = true
+		}
+	}
+
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Name() == "_" || v.IsField() {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() || stmtScopes[inner] {
+			continue
+		}
+		// The scope enclosing the declaration; LookupParent from there
+		// finds what the name would have meant without this declaration.
+		outerScope, outerObj := inner.Parent().LookupParent(v.Name(), id.Pos())
+		if outerObj == nil || outerScope == pass.Pkg.Scope() {
+			continue
+		}
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer.IsField() || outer.Pos() == v.Pos() {
+			continue
+		}
+		// Both must be function-local: walking up from the inner scope
+		// must reach the outer scope before any function boundary is
+		// irrelevant here because LookupParent already stayed inside the
+		// file/function nest; excluding the package scope above is the
+		// boundary that matters.
+		if !outer.Pos().IsValid() || outer.Pos() > v.Pos() {
+			continue
+		}
+		// Report only when the outer variable is used after the inner
+		// scope ends — otherwise the shadow cannot alter behavior.
+		usedAfter := false
+		for _, p := range uses[outer] {
+			if p > inner.End() {
+				usedAfter = true
+				break
+			}
+		}
+		if !usedAfter {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is used after this scope ends",
+			v.Name(), pass.Fset.Position(outer.Pos()))
+	}
+	return nil
+}

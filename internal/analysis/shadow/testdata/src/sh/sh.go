@@ -1,0 +1,40 @@
+// Package sh exercises shadow: inner declarations that shadow a
+// function-local variable still used after the inner scope ends.
+package sh
+
+import "errors"
+
+func process(i int) (int, error) { return i, nil }
+
+// BlockShadow is the previously-live snp-bench shape: the loop body
+// re-declares err, so the check after the loop reads the untouched outer.
+func BlockShadow(xs []int) error {
+	var err error
+	for _, x := range xs {
+		v, err := process(x) // want `shadows declaration at`
+		_, _ = v, err
+	}
+	return err
+}
+
+// IfInit is the idiom: declaration in the if init clause is adjacent to its
+// use and exempt.
+func IfInit(x int) error {
+	var err error
+	if v, err := process(x); err != nil {
+		_ = v
+		return err
+	}
+	return err
+}
+
+// DeadOuter shadows an outer variable that is never used afterwards; the
+// shadow cannot change behavior, so no report.
+func DeadOuter() {
+	err := errors.New("outer")
+	_ = err
+	{
+		err := errors.New("inner")
+		_ = err
+	}
+}

@@ -218,9 +218,9 @@ func (pf *prefetcher) fill(auditor *Auditor, fetch Fetcher, node types.NodeID, t
 		t.fetchErr = err
 		return
 	}
-	start := time.Now()
+	start := wallNow()
 	t.prep = auditor.Prepare(node, resp, auth)
-	t.prepDur = time.Since(start)
+	t.prepDur = wallSince(start)
 }
 
 func (pf *prefetcher) run(auditor *Auditor, fetch Fetcher) {
@@ -308,18 +308,18 @@ func (q *Querier) EnsureAudited(node types.NodeID, startHint types.Time) error {
 			// Prepare and the commit but not the fetch, matching the
 			// sequential path (fetch cost is modeled as download time).
 			pf.fill(q.Auditor, q.Fetch, node, t)
-			start := time.Now()
+			start := wallNow()
 			err := q.commitTask(node, t)
-			q.Metrics.ReplayTime += t.prepDur + time.Since(start)
+			q.Metrics.ReplayTime += t.prepDur + wallSince(start)
 			return err
 		}
 		// Worker-prepared: ReplayTime records the demand thread's actual
 		// stall (wait for the worker, then commit) — zero when preparation
 		// already finished in the background.
-		start := time.Now()
+		start := wallNow()
 		<-t.done
 		err := q.commitTask(node, t)
-		q.Metrics.ReplayTime += time.Since(start)
+		q.Metrics.ReplayTime += wallSince(start)
 		return err
 	}
 	auth, err := q.Fetch.LatestAuth(node)
@@ -335,9 +335,9 @@ func (q *Querier) EnsureAudited(node types.NodeID, startHint types.Time) error {
 	}
 	q.Metrics.NodesContacted++
 	q.accountDownload(resp)
-	start := time.Now()
+	start := wallNow()
 	replayErr := q.Auditor.Replay(node, resp, auth)
-	q.Metrics.ReplayTime += time.Since(start)
+	q.Metrics.ReplayTime += wallSince(start)
 	if replayErr != nil {
 		// The node answered but its log is provably bad; failures are
 		// recorded and its vertices will be red.
@@ -391,8 +391,8 @@ func (q *Querier) accountDownload(resp *RetrieveResponse) {
 // it collects authenticators signed by node from all peers and verifies
 // each against the chain the node presented.
 func (q *Querier) consistencyCheck(node types.NodeID, t1, t2 types.Time) {
-	start := time.Now()
-	defer func() { q.Metrics.VerifyTime += time.Since(start) }()
+	start := wallNow()
+	defer func() { q.Metrics.VerifyTime += wallSince(start) }()
 	for _, peer := range q.Fetch.Nodes() {
 		if peer == node {
 			continue
@@ -606,3 +606,17 @@ func (m QueryMode) String() string {
 		return fmt.Sprintf("mode(%d)", m)
 	}
 }
+
+// wallNow and wallSince isolate the querier's only wall-clock reads: the
+// query-turnaround metrics of Figure 8 (Metrics.ReplayTime, VerifyTime,
+// prepDur), which report how long an audit took on this machine. They
+// never feed replayed state, message contents, or a deterministic metric
+// series, so the determinism invariant is unaffected; keeping them behind
+// these two excused helpers keeps every other wall-clock read in the
+// package a detpure finding.
+
+//snpvet:allow detpure wall-clock audit-latency metric only (Metrics.ReplayTime/VerifyTime); never feeds replayed state or a deterministic series
+func wallNow() time.Time { return time.Now() }
+
+//snpvet:allow detpure wall-clock audit-latency metric only (Metrics.ReplayTime/VerifyTime); never feeds replayed state or a deterministic series
+func wallSince(t time.Time) time.Duration { return time.Since(t) }

@@ -45,8 +45,8 @@ func (it *ExtantItem) UnmarshalWire(r *wire.Reader) error {
 	}
 	it.Appeared = types.Time(r.Int())
 	it.Local = r.Bool()
-	n := r.Uint()
-	if err := checkCount(r, n); err != nil {
+	n := r.Count()
+	if err := r.Err(); err != nil {
 		return err
 	}
 	it.Believed = make([]BelievedRecord, n)
@@ -148,8 +148,8 @@ func (c *Checkpoint) UnmarshalWire(r *wire.Reader) error {
 	c.Root = r.BytesField()
 	c.N = r.Uint()
 	c.MachineState = r.BytesField()
-	n := r.Uint()
-	if err := checkCount(r, n); err != nil {
+	n := r.Count()
+	if err := r.Err(); err != nil {
 		return err
 	}
 	c.Items = make([]ExtantItem, n)

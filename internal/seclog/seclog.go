@@ -160,8 +160,8 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 	e.Type = EntryType(r.Byte())
 	switch e.Type {
 	case ESnd:
-		n := r.Uint()
-		if err := checkCount(r, n); err != nil {
+		n := r.Count()
+		if err := r.Err(); err != nil {
 			return err
 		}
 		e.Msgs = make([]types.Message, n)
@@ -171,8 +171,8 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 			}
 		}
 	case ERcv:
-		n := r.Uint()
-		if err := checkCount(r, n); err != nil {
+		n := r.Count()
+		if err := r.Err(); err != nil {
 			return err
 		}
 		e.Msgs = make([]types.Message, n)
@@ -186,8 +186,8 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 		e.PeerSig = r.BytesField()
 		e.PeerSeq = r.Uint()
 	case EAck:
-		n := r.Uint()
-		if err := checkCount(r, n); err != nil {
+		n := r.Count()
+		if err := r.Err(); err != nil {
 			return err
 		}
 		e.AckIDs = make([]types.MessageID, n)
@@ -206,8 +206,8 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 			return err
 		}
 		e.MaybeRule = r.String()
-		n := r.Uint()
-		if err := checkCount(r, n); err != nil {
+		n := r.Count()
+		if err := r.Err(); err != nil {
 			return err
 		}
 		e.MaybeBody = make([]types.Tuple, n)
@@ -216,8 +216,8 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 				return err
 			}
 		}
-		n = r.Uint()
-		if err := checkCount(r, n); err != nil {
+		n = r.Count()
+		if err := r.Err(); err != nil {
 			return err
 		}
 		e.Replaces = make([]types.Tuple, n)
@@ -237,19 +237,6 @@ func (e *Entry) UnmarshalWire(r *wire.Reader) error {
 		}
 	}
 	return r.Err()
-}
-
-func checkCount(r *wire.Reader, n uint64) error {
-	if r.Err() != nil {
-		return r.Err()
-	}
-	// Each encoded element takes at least one byte: a count past the
-	// remaining input is corrupt, and honoring it would let a few hostile
-	// bytes drive an arbitrarily large allocation.
-	if n > uint64(r.Remaining()) {
-		return fmt.Errorf("seclog: count %d exceeds %d remaining bytes", n, r.Remaining())
-	}
-	return nil
 }
 
 // WireSize returns the metered size of the entry in bytes: what the chain
@@ -532,6 +519,7 @@ func (l *Log) Entry(seq uint64) (*Entry, error) {
 func (l *Log) HashAt(seq uint64) []byte {
 	h, err := l.Hash(seq)
 	if err != nil {
+		//snpvet:allow nopanic documented panic-on-misuse accessor for locally validated sequence numbers; peer-influenced paths use Hash, which returns an error
 		panic(err)
 	}
 	return h
@@ -543,6 +531,7 @@ func (l *Log) HashAt(seq uint64) []byte {
 func (l *Log) EntryAt(seq uint64) *Entry {
 	e, err := l.Entry(seq)
 	if err != nil {
+		//snpvet:allow nopanic documented panic-on-misuse accessor for locally validated sequence numbers; peer-influenced paths use Entry, which returns an error
 		panic(err)
 	}
 	return e
@@ -807,8 +796,8 @@ func (s *SegmentData) UnmarshalWire(r *wire.Reader) error {
 	s.Node = types.NodeID(r.String())
 	s.From = r.Uint()
 	s.BaseHash = r.BytesField()
-	n := r.Uint()
-	if err := checkCount(r, n); err != nil {
+	n := r.Count()
+	if err := r.Err(); err != nil {
 		return err
 	}
 	s.Entries = make([]*Entry, n)

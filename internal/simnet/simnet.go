@@ -379,6 +379,7 @@ func (n *Net) AddNode(id types.NodeID, keySeed int64, machine types.Machine) (*c
 func (n *Net) MustAddNode(id types.NodeID, keySeed int64, machine types.Machine) *core.Node {
 	node, err := n.AddNode(id, keySeed, machine)
 	if err != nil {
+		//snpvet:allow nopanic deploy-time convenience used only while building a simulation topology, before any peer-influenced input exists
 		panic(err)
 	}
 	return node

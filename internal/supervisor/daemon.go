@@ -139,9 +139,9 @@ func RunDaemon(cfg NodeConfig) error {
 	dir := core.NewDirectory()
 	var key cryptoutil.PrivateKey
 	for i, id := range cfg.Nodes {
-		k, err := cryptoutil.PooledKey(ccfg.Suite, cfg.Seed*1000+int64(100+i))
-		if err != nil {
-			return err
+		k, keyErr := cryptoutil.PooledKey(ccfg.Suite, cfg.Seed*1000+int64(100+i))
+		if keyErr != nil {
+			return keyErr
 		}
 		dir.Register(id, k.Public())
 		if id == cfg.ID {

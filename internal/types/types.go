@@ -70,6 +70,7 @@ func N(id NodeID) Value { return Value{Kind: KindNode, Str: string(id)} }
 // rule location attributes are validated at rule-compile time.
 func (v Value) Node() NodeID {
 	if v.Kind != KindNode {
+		//snpvet:allow nopanic rule location attributes are validated at rule-compile time (dlog.Program), so no peer-influenced value reaches this accessor with the wrong kind
 		panic(fmt.Sprintf("types: value %v is not a node", v))
 	}
 	return NodeID(v.Str)

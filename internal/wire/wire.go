@@ -263,7 +263,7 @@ func (r *Reader) BytesField() []byte {
 	if r.err != nil {
 		return nil
 	}
-	if n > uint64(len(r.buf)-r.off) {
+	if n > uint64(r.Remaining()) {
 		r.fail(ErrTruncated)
 		return nil
 	}
