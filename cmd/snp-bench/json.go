@@ -208,6 +208,69 @@ func writeJSONResults(path, baselinePath string, iters int, o eval.Options) erro
 			})
 	}
 
+	// Query-throughput rows: concurrent querier scopes over a store-backed
+	// Quagga run, one pass against an empty persistent audit cache and one
+	// against the cache that pass populated. The warm pass must be served
+	// entirely from the cache (QueryThroughput enforces zero warm misses);
+	// warm-speedup is cold mean-per-query over warm mean-per-query — the
+	// replica-replay share of an audit, which is what the cache eliminates.
+	{
+		dir, err := os.MkdirTemp("", "snp-bench-qps-")
+		if err != nil {
+			return err
+		}
+		rows, err := eval.QueryThroughput(o, 4, 32, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return fmt.Errorf("qps: %w", err)
+		}
+		cold, warm := rows[0], rows[1]
+		qpsMetrics := func(r eval.QPSRow) map[string]float64 {
+			return map[string]float64{
+				"qps":          r.QPS,
+				"p50-ms":       r.P50.Seconds() * 1000,
+				"p99-ms":       r.P99.Seconds() * 1000,
+				"workers":      float64(r.Workers),
+				"queries":      float64(r.Queries),
+				"cache-hits":   float64(r.Hits),
+				"cache-misses": float64(r.Misses),
+			}
+		}
+		warmMetrics := qpsMetrics(warm)
+		if warm.NsPerQuery() > 0 {
+			warmMetrics["warm-speedup"] = float64(cold.NsPerQuery()) / float64(warm.NsPerQuery())
+		}
+		results = append(results,
+			BenchResult{Name: "BenchmarkQPSColdCache", NsPerOp: cold.NsPerQuery(), Metrics: qpsMetrics(cold)},
+			BenchResult{Name: "BenchmarkQPSWarmCache", NsPerOp: warm.NsPerQuery(), Metrics: warmMetrics})
+	}
+
+	// Store cold-read row: the BenchmarkStoreColdRead pair (mmap'd table
+	// decode vs one positioned read per record) as wall-clock numbers, so
+	// the read-path ratio is tracked across PRs alongside the figures.
+	{
+		dir, err := os.MkdirTemp("", "snp-bench-coldread-")
+		if err != nil {
+			return err
+		}
+		row, err := eval.ColdReadProbe(dir, 4096)
+		os.RemoveAll(dir)
+		if err != nil {
+			return fmt.Errorf("cold-read probe: %w", err)
+		}
+		m := map[string]float64{
+			"mmap-ns-per-op":  float64(row.MmapNsPerOp),
+			"pread-ns-per-op": float64(row.PreadNsPerOp),
+			"entries":         float64(row.Entries),
+		}
+		if row.MmapNsPerOp > 0 {
+			m["pread-over-mmap"] = float64(row.PreadNsPerOp) / float64(row.MmapNsPerOp)
+		}
+		results = append(results, BenchResult{
+			Name: "BenchmarkStoreColdRead", NsPerOp: row.MmapNsPerOp, Metrics: m,
+		})
+	}
+
 	// Adversary scenario family: one run per behavior with one compromised
 	// node, full-deployment audit, evidence scored (§6.1-style detection
 	// metrics). The detection guarantee is enforced, not just reported: a

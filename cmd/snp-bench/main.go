@@ -32,7 +32,7 @@ func main() {
 	// binary as the child image; such a child never reaches the flag parser.
 	supervisor.MaybeChild()
 
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario, 'adversary' the Byzantine detection-guarantee scenarios, 'livetcp' the loopback-TCP fault-plan detection-latency scenario, and 'multiproc' the multi-process supervised-crash-recovery scenario on their own (not part of 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario, 'qps' the sustained query-throughput scenario (concurrent audit scopes, cold vs warm audit cache), 'adversary' the Byzantine detection-guarantee scenarios, 'livetcp' the loopback-TCP fault-plan detection-latency scenario, and 'multiproc' the multi-process supervised-crash-recovery scenario on their own (not part of 'all')")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	simWorkers := flag.Int("sim-workers", 0, "parallel event shards for the simulation driver (0/1 = serial reference, -1 = GOMAXPROCS); every deterministic series is bit-identical across values")
@@ -46,6 +46,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after all runs) to this file")
 	advFilter := flag.String("adversary", "all", "comma-separated behavior filter for -fig adversary (e.g. 'forge,equivocate'; 'all' runs the whole library)")
 	advK := flag.Int("adversary-k", 1, "compromised nodes per adversary scenario")
+	qpsWorkers := flag.Int("qps-workers", 4, "concurrent querier scopes for -fig qps")
+	qpsQueries := flag.Int("qps-queries", 48, "audit queries per -fig qps pass")
 	flag.Parse()
 
 	if *hotTail != 0 && *logDir == "" && *fig != "retention" {
@@ -184,6 +186,29 @@ func main() {
 		}
 		if violated {
 			log.Fatal("multi-process scenarios violated the detection guarantee")
+		}
+		return
+	}
+
+	if *fig == "qps" {
+		// The sustained query-throughput scenario: a store-backed Quagga run,
+		// then concurrent querier scopes auditing nodes round-robin — once
+		// against an empty persistent audit cache and once against the cache
+		// that pass populated. The warm row's speedup is replica-replay time
+		// the cache eliminated.
+		dir, err := os.MkdirTemp("", "snp-qps-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== Query throughput: concurrent audit scopes, cold vs warm audit cache ==")
+		rows, err := eval.QueryThroughput(o, *qpsWorkers, *qpsQueries, dir)
+		// Remove before any Fatal: log.Fatal skips deferred cleanup.
+		os.RemoveAll(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
 		}
 		return
 	}

@@ -25,6 +25,22 @@ type App struct {
 	// NewQuerier builds the application's query session (BGP installs its
 	// maybe-rule validator); nil uses Factory directly.
 	NewQuerier func(net *simnet.Net) *core.Querier
+	// Store, when non-nil, backs every run of the app with on-disk state:
+	// store-backed logs and (optionally) a persistent audit cache shared
+	// across runs. Nil keeps the suite's default in-memory runs.
+	Store *StoreBacking
+}
+
+// StoreBacking selects on-disk backing for conformance runs. Sharing one
+// LogDir and Cache across a baseline and its adversarial re-runs is
+// deliberate: successive runs re-deploy the same node names, so the cache
+// accumulates entries for chains that no longer exist — exactly the stale
+// state that must never help an adversary look honest or frame an honest
+// node (cache keys pin the head chain hash, so a diverged chain can only
+// miss).
+type StoreBacking struct {
+	LogDir string
+	Cache  *core.AuditCache
 }
 
 // MinCostApp is the paper's running example (§3.3, Figure 2): five routers,
@@ -131,6 +147,10 @@ const maxQueries = 3
 func (a App) run(seed int64, plan Plan) (*simnet.Net, error) {
 	cfg := simnet.DefaultConfig()
 	cfg.Seed = seed
+	if a.Store != nil {
+		cfg.Core.LogDir = a.Store.LogDir
+		cfg.Core.AuditCache = a.Store.Cache
+	}
 	if plan != nil {
 		cfg.OnNode = plan.Hook()
 	}
@@ -199,6 +219,9 @@ func (a App) RunBaseline(seed int64) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Store-backed runs re-deploy the same node names next run; release the
+	// mapped tables before then (a no-op for in-memory runs).
+	defer func() { _ = net.CloseLogs() }()
 	q := a.NewQuerier(net)
 	v := AuditAll(q, net.Maintainer)
 	if len(v.Failures) != 0 || len(v.RedHosts) != 0 || len(v.Unresponsive) != 0 {
@@ -265,6 +288,7 @@ func (a App) RunConformance(p Profile, seed int64, base *Baseline) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	defer func() { _ = net.CloseLogs() }()
 	q := a.NewQuerier(net)
 	v := AuditAll(q, net.Maintainer)
 	got := answers(q, base.Queries)

@@ -3,10 +3,12 @@ package adversary_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/core"
 )
 
 // conformanceSeeds returns the seed set the suite runs. The full matrix is
@@ -32,6 +34,111 @@ func conformanceApps(t *testing.T) []adversary.App {
 		return apps[:2] // mincost + quagga; chord is the slowest deployment
 	}
 	return apps
+}
+
+// corruptDir flips a byte in every regular file under dir (cache tables and
+// their meta), simulating an attacker or bit-rot poisoning the audit cache
+// on disk. It fails the test if there is nothing to corrupt — a toothless
+// poison pass must not pass silently.
+func corruptDir(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil || len(raw) == 0 {
+			continue
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatalf("nothing to corrupt under %s; the poison pass is toothless", dir)
+	}
+}
+
+// TestConformanceStored re-runs the conformance matrix with every node's
+// log spilled to an on-disk segment store and the persistent audit cache
+// armed — the satellite dimension the in-memory matrix misses. One variant
+// shares a healthy cache across the baseline and every adversarial re-run
+// (each re-run makes the accumulated entries stale: same node names, new
+// chains); the other corrupts the cache files on disk in between. Either
+// way the §4.2 guarantee must hold exactly as it does in memory: a stale or
+// poisoned cache entry may cost a fresh replay, never a provable accusation
+// of an honest node.
+func TestConformanceStored(t *testing.T) {
+	apps := adversary.Apps()[:2] // mincost + quagga; chord adds the least here
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	for _, poison := range []bool{false, true} {
+		name := "cache"
+		if poison {
+			name = "poisoned-cache"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, app := range apps {
+				app := app
+				t.Run(app.Name, func(t *testing.T) {
+					root := t.TempDir()
+					cacheDir := filepath.Join(root, "auditcache")
+					cache, err := core.OpenAuditCache(cacheDir, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					app.Store = &adversary.StoreBacking{
+						LogDir: filepath.Join(root, "logs"), Cache: cache}
+					base, err := app.RunBaseline(1)
+					if err != nil {
+						t.Fatalf("baseline: %v", err)
+					}
+					if cache.Misses() == 0 {
+						t.Fatal("baseline never consulted the audit cache")
+					}
+					if poison {
+						// Seal the baseline's entries to disk, corrupt every
+						// cache file, and reopen: the adversarial runs below
+						// then audit against a fully poisoned cache.
+						if err := cache.Sync(); err != nil {
+							t.Fatal(err)
+						}
+						if err := cache.Close(); err != nil {
+							t.Fatal(err)
+						}
+						corruptDir(t, cacheDir)
+						if cache, err = core.OpenAuditCache(cacheDir, nil); err != nil {
+							t.Fatal(err)
+						}
+						app.Store.Cache = cache
+					}
+					defer cache.Close()
+					for _, p := range adversary.Catalog() {
+						p := p
+						t.Run(p.Name, func(t *testing.T) {
+							res, err := app.RunConformance(p, 1, base)
+							if err != nil {
+								t.Fatalf("conformance run: %v", err)
+							}
+							t.Log(res)
+							for _, v := range res.Violations {
+								t.Errorf("invariant violated: %s", v)
+							}
+						})
+					}
+				})
+			}
+		})
+	}
 }
 
 // TestConformance pins the paper's detection guarantee: every behavior in

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ruleMachine models an NDlog-style replica at realistic replay cost: every
+// insert is joined against the retained derived state (a bounded scan, the
+// shape of a rule-body match) and produces a derivation output. Replay cost
+// is dominated by this per-event work — exactly what the audit cache
+// elides.
+type ruleMachine struct {
+	self  types.NodeID
+	state []int64
+	acc   int64
+}
+
+func (m *ruleMachine) Step(ev types.Event) []types.Output {
+	if ev.Kind != types.EvIns {
+		return nil
+	}
+	v := int64(len(ev.Tuple.Rel))
+	if len(ev.Tuple.Args) > 1 {
+		v = ev.Tuple.Args[1].Int
+	}
+	// Rule evaluation: join the new tuple against the whole derived state,
+	// once per rule of an eight-rule program. Most firings only bump
+	// reference counts; one insert in sixteen changes the derived relation
+	// and produces an output (rule work dominates output volume, the usual
+	// shape of declarative replay).
+	for rule := int64(0); rule < 8; rule++ {
+		for _, s := range m.state {
+			if (s+v+rule)%7 == 0 { // join predicate
+				m.acc += s ^ v
+			}
+		}
+	}
+	m.state = append(m.state, v)
+	if len(m.state)%16 != 0 {
+		return nil
+	}
+	return []types.Output{{
+		Kind: types.OutDerive, Rule: "join",
+		Tuple: types.MakeTuple("d", types.N(m.self), types.I(m.acc)),
+		Body:  []types.Tuple{ev.Tuple}, First: true,
+	}}
+}
+
+func (m *ruleMachine) Snapshot() []byte {
+	w := wire.NewWriter(8 * (len(m.state) + 2))
+	w.Int(m.acc)
+	w.Uint(uint64(len(m.state)))
+	for _, s := range m.state {
+		w.Int(s)
+	}
+	return w.Bytes()
+}
+
+func (m *ruleMachine) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	m.acc = r.Int()
+	n := r.Count()
+	m.state = m.state[:0]
+	for i := 0; i < n; i++ {
+		m.state = append(m.state, r.Int())
+	}
+	return r.Finish()
+}
+
+// benchAuditFixture builds one node with n logged inserts and returns what
+// an auditor needs to replay it.
+func benchAuditFixture(b *testing.B, n int) (Config, *Directory, types.MachineFactory, *RetrieveResponse, seclog.Authenticator) {
+	b.Helper()
+	cfg := DefaultConfig()
+	key, err := cryptoutil.PooledKey(cfg.suite(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := NewDirectory()
+	dir.Register("n1", key.Public())
+	factory := func(self types.NodeID) types.Machine { return &ruleMachine{self: self} }
+	node, err := NewNode("n1", cfg, key, dir, NewMaintainer(), &fixedClock{}, nil, factory("n1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := node.InsertBase(types.MakeTuple("t", types.N("n1"), types.I(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	auth, err := node.LatestAuth()
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := node.HandleRetrieve(RetrieveRequest{Auth: auth})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, dir, factory, resp, auth
+}
+
+// BenchmarkAuditCacheHit compares re-auditing an unchanged segment with a
+// warm persistent cache (replica replay skipped) against a fresh replay.
+// The acceptance bar is a ≥5× speedup at matching results; the parity tests
+// in auditcache_test.go pin the bit-identity half.
+func BenchmarkAuditCacheHit(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		cfg, dir, factory, resp, auth := benchAuditFixture(b, n)
+
+		b.Run(fmt.Sprintf("replay/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := NewAuditor(cfg, dir, factory, nil)
+				if p := a.Prepare("n1", resp, auth); p.err != nil {
+					b.Fatal(p.err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached/n=%d", n), func(b *testing.B) {
+			cache, err := OpenAuditCache(b.TempDir(), cfg.suite())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cache.Close()
+			ccfg := cfg
+			ccfg.AuditCache = cache
+			warm := NewAuditor(ccfg, dir, factory, nil)
+			if p := warm.Prepare("n1", resp, auth); p.err != nil {
+				b.Fatal(p.err)
+			}
+			if cache.Misses() != 1 {
+				b.Fatal("warmup did not populate the cache")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := NewAuditor(ccfg, dir, factory, nil)
+				if p := a.Prepare("n1", resp, auth); p.err != nil {
+					b.Fatal(p.err)
+				}
+			}
+			b.StopTimer()
+			if cache.Hits() != uint64(b.N) {
+				b.Fatalf("hits=%d, want %d", cache.Hits(), b.N)
+			}
+		})
+	}
+}

@@ -44,6 +44,11 @@ type Config struct {
 	// previous store for the node — the right semantics for a fresh run,
 	// destructive for a restart.
 	LogRecover bool
+	// AuditCache, when non-nil, lets auditors built from this config skip
+	// the replica-machine replay of segments they have audited before (the
+	// persistent incremental-audit cache; see auditcache.go for what a hit
+	// is and is not allowed to trust).
+	AuditCache *AuditCache
 }
 
 func (c Config) suite() cryptoutil.Suite {

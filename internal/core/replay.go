@@ -184,11 +184,65 @@ type prep struct {
 	audited *auditedNode
 	machine types.Machine
 	endTime types.Time
+
+	// cur, when non-nil, runs this prep in cached mode: machine outputs
+	// come from the cached op stream instead of a replica machine, and
+	// every re-derived op must match its cached counterpart (see
+	// auditcache.go). Any failure or divergence poisons the cursor and the
+	// caller falls back to a fresh replay.
+	cur *cacheCursor
 }
 
 func (p *prep) fail(node types.NodeID, seq uint64, format string, args ...any) {
+	if p.cur != nil {
+		// A cached entry claims a clean replay; a failure on the same
+		// bytes means the entry cannot be trusted. Record nothing — the
+		// fresh replay will re-derive (and this time keep) the failure.
+		p.cur.bad = true
+		return
+	}
 	p.ops = append(p.ops, replayOp{kind: opFail,
 		fail: Failure{Node: node, Seq: seq, Reason: fmt.Sprintf(format, args...)}})
+}
+
+// seedExist records a checkpoint-seeded exist vertex; in cached mode it also
+// cross-checks the cached op.
+func (p *prep) seedExist(node types.NodeID, tup types.Tuple, t types.Time) {
+	if p.cur != nil {
+		c := p.cur.next(opSeedExist)
+		if c == nil || c.node != node || !c.tup.Equal(tup) || c.t != t {
+			p.cur.bad = true
+			return
+		}
+	}
+	p.ops = append(p.ops, replayOp{kind: opSeedExist, node: node, tup: tup, t: t})
+}
+
+// seedBelieve records a checkpoint-seeded believe vertex; in cached mode it
+// also cross-checks the cached op.
+func (p *prep) seedBelieve(node, origin types.NodeID, tup types.Tuple, t types.Time) {
+	if p.cur != nil {
+		c := p.cur.next(opSeedBelieve)
+		if c == nil || c.node != node || c.origin != origin || !c.tup.Equal(tup) || c.t != t {
+			p.cur.bad = true
+			return
+		}
+	}
+	p.ops = append(p.ops, replayOp{kind: opSeedBelieve, node: node, origin: origin, tup: tup, t: t})
+}
+
+// implied records a re-verified implied chain commitment. The recorded op is
+// always built from the re-derived values — in cached mode the cached copy
+// is only compared, never adopted, so a poisoned entry cannot plant a
+// commitment the segment does not prove.
+func (p *prep) implied(node types.NodeID, seq uint64, ic *impliedCommit) {
+	if p.cur != nil {
+		if !checkImplied(p.cur.next(opImplied), node, seq, ic) {
+			p.cur.bad = true
+			return
+		}
+	}
+	p.ops = append(p.ops, replayOp{kind: opImplied, node: node, seq: seq, commit: ic})
 }
 
 // machineFor lazily creates the replica machine, mirroring the sequential
@@ -205,7 +259,19 @@ func (p *prep) machineFor() types.Machine {
 // commit phase.
 func (p *prep) handleEvent(ev types.Event) {
 	var outs []types.Output
-	if provgraph.StepsMachine(ev) {
+	if p.cur != nil {
+		c := p.cur.next(opEvent)
+		if c == nil {
+			return
+		}
+		if provgraph.StepsMachine(ev) {
+			p.cur.needMachine = true
+			outs = c.outs
+		} else if len(c.outs) != 0 {
+			p.cur.bad = true // non-machine events never produce outputs
+			return
+		}
+	} else if provgraph.StepsMachine(ev) {
 		outs = p.machineFor().Step(ev)
 	}
 	p.ops = append(p.ops, replayOp{kind: opEvent, ev: ev, outs: outs})
@@ -270,13 +336,86 @@ func (a *Auditor) Prepare(node types.NodeID, resp *RetrieveResponse, evidence se
 		p.audited.hashes[seg.From+uint64(i)] = h
 	}
 
+	// Try the persistent audit cache: an unchanged segment (same node,
+	// range, and head chain hash) replays to a bit-identical op stream, so
+	// a validated hit skips the replica-machine replay entirely. Failures
+	// recorded before this point mean the response is already suspect —
+	// audit it the slow way.
+	cache := a.cfg.AuditCache
+	var key []byte
+	if cache != nil && len(hashes) > 0 && len(p.ops) == 0 {
+		key = cache.key(node, seg.From, seg.To(), hashes[len(hashes)-1])
+		if hit := a.prepareFromCache(p, seg, key); hit {
+			cache.hits.Add(1)
+			out.ops = p.ops
+			out.audited = p.audited
+			out.machine = p.machine
+			out.endTime = p.endTime
+			return out
+		}
+		cache.misses.Add(1)
+	}
+
 	p.replayEntries(node, seg)
+
+	if key != nil && cleanOps(p.ops) {
+		var snapshot []byte
+		if p.machine != nil {
+			snapshot = p.machine.Snapshot()
+		}
+		cache.put(key, encodeAuditBody(p.machine != nil, snapshot, p.endTime, p.ops))
+	}
 
 	out.ops = p.ops
 	out.audited = p.audited
 	out.machine = p.machine
 	out.endTime = p.endTime
 	return out
+}
+
+// cleanOps reports whether an op stream records no failures; only clean
+// replays are cached (see auditcache.go).
+func cleanOps(ops []replayOp) bool {
+	for i := range ops {
+		if ops[i].kind == opFail {
+			return false
+		}
+	}
+	return true
+}
+
+// prepareFromCache attempts to satisfy p from the cached entry under key.
+// On success p holds the validated ops, the re-derived bookkeeping, and a
+// machine restored from the cached final snapshot; on any mismatch p is
+// left untouched and the caller replays fresh.
+func (a *Auditor) prepareFromCache(p *prep, seg *seclog.SegmentData, key []byte) bool {
+	body, ok := a.cfg.AuditCache.get(key)
+	if !ok {
+		return false
+	}
+	ca, err := decodeAuditBody(body)
+	if err != nil || !cleanOps(ca.ops) {
+		return false
+	}
+	pc := &prep{a: a, node: p.node, cur: &cacheCursor{ca: ca},
+		audited: &auditedNode{from: p.audited.from, to: p.audited.to,
+			hashes: p.audited.hashes, sent: make(map[types.MessageID]*sentEnvelope)}}
+	pc.replayEntries(p.node, seg)
+	if !pc.cur.done() || pc.cur.needMachine != ca.hadMachine || pc.endTime != ca.endTime {
+		return false
+	}
+	var m types.Machine
+	if ca.hadMachine {
+		m = a.factory(p.node)
+		if err := m.Restore(ca.snapshot); err != nil {
+			return false
+		}
+	}
+	p.ops = pc.ops
+	p.audited.sent = pc.audited.sent
+	p.machine = m
+	p.endTime = pc.endTime
+	return true
 }
 
 // Commit applies a prepared audit to the shared graph and bookkeeping. It
@@ -413,8 +552,7 @@ func (p *prep) replayRcv(node types.NodeID, seq uint64, e *seclog.Entry) {
 	// *against the sender*, and flagging them red would accuse the honest
 	// receiver — Theorem 5 forbids that).
 	if implied {
-		p.ops = append(p.ops, replayOp{kind: opImplied, node: src, seq: e.PeerSeq,
-			commit: &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs}})
+		p.implied(src, e.PeerSeq, &impliedCommit{hash: hx, t: e.PeerTime, reporter: node, msgs: e.Msgs})
 	}
 }
 
@@ -451,8 +589,7 @@ func (p *prep) replayAck(node types.NodeID, seq uint64, e *seclog.Entry) {
 	// the receive vertices the ack proves must exist before a conflict on
 	// this position reaches handle-extra-msg.
 	if implied {
-		p.ops = append(p.ops, replayOp{kind: opImplied, node: dst, seq: e.PeerSeq,
-			commit: &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs}})
+		p.implied(dst, e.PeerSeq, &impliedCommit{hash: hy, t: e.PeerTime, reporter: node, msgs: pend.msgs})
 	}
 }
 
@@ -469,19 +606,21 @@ func (p *prep) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atSegm
 	}
 	if atSegmentStart {
 		// Start of replay: restore the machine and seed the graph with the
-		// extant tuples (their causes live in an earlier segment).
-		if err := p.machineFor().Restore(ck.MachineState); err != nil {
+		// extant tuples (their causes live in an earlier segment). In
+		// cached mode the restore is deferred — the cached final snapshot
+		// is restored once the whole walk validates (Prepare).
+		if p.cur != nil {
+			p.cur.needMachine = true
+		} else if err := p.machineFor().Restore(ck.MachineState); err != nil {
 			p.fail(node, seq, "checkpoint state does not restore: %v", err)
 			return
 		}
 		for _, it := range ck.Items {
 			if it.Local {
-				p.ops = append(p.ops, replayOp{kind: opSeedExist, node: node,
-					tup: it.Tuple, t: it.Appeared})
+				p.seedExist(node, it.Tuple, it.Appeared)
 			}
 			for _, b := range it.Believed {
-				p.ops = append(p.ops, replayOp{kind: opSeedBelieve, node: node,
-					origin: b.Origin, tup: it.Tuple, t: b.Since})
+				p.seedBelieve(node, b.Origin, it.Tuple, b.Since)
 			}
 		}
 		return
@@ -490,7 +629,13 @@ func (p *prep) replayCkpt(node types.NodeID, seq uint64, e *seclog.Entry, atSegm
 	// otherwise the node checkpointed state it never reached ("if a faulty
 	// node adds a nonexistent tuple to its checkpoint, this will be
 	// discovered when ... replay will begin before the checkpoint and end
-	// after it", §5.6).
+	// after it", §5.6). In cached mode there is no stepped machine to
+	// compare; the check passed when the entry was cached (the same bytes
+	// replay to the same state), so it is safely skipped.
+	if p.cur != nil {
+		p.cur.needMachine = true
+		return
+	}
 	snap := p.machineFor().Snapshot()
 	a.Stats.CountHash(len(snap))
 	if !bytes.Equal(a.suite.Hash(snap), ck.StateHash) {

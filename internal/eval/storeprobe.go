@@ -1,0 +1,110 @@
+// Store read-path probe: the wall-clock counterpart of seclog's
+// BenchmarkStoreColdRead, runnable from snp-bench so the mmap-vs-pread
+// cold-read ratio lands in BENCH_results.json next to the figure series.
+package eval
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/seclog"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ColdReadRow reports per-entry cold-decode cost through the two read
+// paths: the mmap'd table region the store ships, and one positioned read
+// syscall per record — the behavior tables replaced.
+type ColdReadRow struct {
+	Entries      int
+	MmapNsPerOp  int64
+	PreadNsPerOp int64
+}
+
+func (r ColdReadRow) String() string {
+	ratio := 0.0
+	if r.MmapNsPerOp > 0 {
+		ratio = float64(r.PreadNsPerOp) / float64(r.MmapNsPerOp)
+	}
+	return fmt.Sprintf("cold-read entries=%d mmap=%dns/op pread=%dns/op (pread/mmap %.2fx)",
+		r.Entries, r.MmapNsPerOp, r.PreadNsPerOp, ratio)
+}
+
+// ColdReadProbe builds a store-backed log of n entries under dir, seals
+// everything into tables, and times decoding each entry cold — resident
+// window of one, so every read goes to the table layer — through both
+// paths.
+func ColdReadProbe(dir string, n int) (ColdReadRow, error) {
+	suite := cryptoutil.Ed25519SHA256
+	key, err := cryptoutil.PooledKey(suite, 1)
+	if err != nil {
+		return ColdReadRow{}, err
+	}
+	l, err := seclog.NewStored(dir, "coldread", suite, key, nil, 1)
+	if err != nil {
+		return ColdReadRow{}, err
+	}
+	defer l.Close()
+	for i := 0; i < n; i++ {
+		l.Append(&seclog.Entry{T: types.Time(i + 1), Type: seclog.EIns,
+			Tuple: types.MakeTuple("t", types.N("coldread"), types.I(int64(i)))})
+	}
+	// Seal the whole log into tables, then restore a tuning that will not
+	// seal again mid-measurement.
+	l.SetStoreTuning(1, 1<<20)
+	if err := l.Sync(); err != nil {
+		return ColdReadRow{}, err
+	}
+	l.SetStoreTuning(1<<30, 1<<20)
+	if l.StoreTables() == 0 {
+		return ColdReadRow{}, fmt.Errorf("eval: cold-read probe sealed no tables")
+	}
+
+	const rounds = 4
+	ops := int64(rounds * n)
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for seq := uint64(1); seq <= uint64(n); seq++ {
+			if _, err := l.Entry(seq); err != nil {
+				return ColdReadRow{}, err
+			}
+		}
+	}
+	mmapNs := time.Since(start).Nanoseconds() / ops
+
+	spans := l.StoreTableSpans()
+	files := make([]*os.File, len(spans))
+	for i, sp := range spans {
+		f, err := os.Open(sp.Path)
+		if err != nil {
+			return ColdReadRow{}, err
+		}
+		defer f.Close()
+		files[i] = f
+	}
+	buf := make([]byte, 1<<12)
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, sp := range spans {
+			for j := range sp.Offs {
+				ln := sp.Lens[j]
+				if int(ln) > len(buf) {
+					buf = make([]byte, ln)
+				}
+				if _, err := files[i].ReadAt(buf[:ln], sp.Offs[j]); err != nil {
+					return ColdReadRow{}, err
+				}
+				e := new(seclog.Entry)
+				if err := wire.Decode(buf[:ln], e); err != nil {
+					return ColdReadRow{}, err
+				}
+			}
+		}
+	}
+	preadNs := time.Since(start).Nanoseconds() / ops
+
+	return ColdReadRow{Entries: n, MmapNsPerOp: mmapNs, PreadNsPerOp: preadNs}, nil
+}

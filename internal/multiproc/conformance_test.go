@@ -44,21 +44,29 @@ func workDir(t *testing.T) string {
 	return dir
 }
 
-// crashCase is one app with a seeded crash plan that kills two distinct
-// honest nodes: one clean SIGKILL mid-run, one SIGKILL in the middle of a
-// split segment write (a genuinely torn tail for recovery to truncate).
+// crashCase is one app with a seeded crash plan that kills distinct honest
+// nodes: one clean SIGKILL mid-run, one SIGKILL in the middle of a split
+// segment write (a genuinely torn tail for recovery to truncate), and — on
+// the app with an honest node to spare — one SIGKILL on the compactor
+// goroutine mid-fold (replacement table durable, manifest swap uncommitted;
+// recovery must come back on the old table set and collect the orphan).
 type crashCase struct {
-	app   string
-	rules []supervisor.CrashRule
-	kill  types.NodeID // the ModeKill target
-	torn  types.NodeID // the ModeTorn target
+	app     string
+	rules   []supervisor.CrashRule
+	kill    types.NodeID // the ModeKill target
+	torn    types.NodeID // the ModeTorn target
+	compact types.NodeID // the ModeCompact target (empty: none in this case)
 }
 
 func crashCases() []crashCase {
 	return []crashCase{
 		// Triggers sit well below the converged heads (8 for mincost, 9/5
 		// for quagga's as10/as51), so every rule fires mid-exchange even
-		// when the other crash in the plan disrupts the workload.
+		// when the other crashes in the plan disrupt the workload. The
+		// compact rule needs a couple of appends past its trigger to seal
+		// the tables its fold dies in, so its trigger sits lowest. mincost
+		// deploys only three processes (b compromised), so only quagga has
+		// an honest node free for the compact crash.
 		{
 			app: "mincost", kill: "c", torn: "d",
 			rules: []supervisor.CrashRule{
@@ -67,10 +75,11 @@ func crashCases() []crashCase {
 			},
 		},
 		{
-			app: "quagga", kill: "as10", torn: "as51",
+			app: "quagga", kill: "as10", torn: "as51", compact: "as20",
 			rules: []supervisor.CrashRule{
 				{Node: "as10", Mode: supervisor.ModeKill, AtAppend: 4, Jitter: 1},
 				{Node: "as51", Mode: supervisor.ModeTorn, AtAppend: 3, Jitter: 1},
+				{Node: "as20", Mode: supervisor.ModeCompact, AtAppend: 2, Jitter: 1},
 			},
 		},
 	}
@@ -132,8 +141,8 @@ func runCrashCase(t *testing.T, cc crashCase, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pre) != 2 {
-		t.Fatalf("crash plan hit %d nodes, want 2: %v", len(pre), pre)
+	if len(pre) != len(cc.rules) {
+		t.Fatalf("crash plan hit %d nodes, want %d: %v", len(pre), len(cc.rules), pre)
 	}
 	if err := h.Sup.WaitHealthy(30 * time.Second); err != nil {
 		t.Fatal(err)
@@ -161,6 +170,16 @@ func runCrashCase(t *testing.T, cc crashCase, seed int64) {
 		case cc.kill:
 			if hr.TornBytes != 0 {
 				t.Errorf("%s died record-aligned but recovery saw %d torn bytes", id, hr.TornBytes)
+			}
+		case cc.compact:
+			// The compact rule only ever dies inside the MidCompact hook, so
+			// reaching here means the process was killed with a durable
+			// replacement table and an uncommitted manifest; VerifyRecovered
+			// above already proved the fold never moved the synced head
+			// off-chain. The tail was fully synced when the fold started, so
+			// recovery must not have needed to truncate anything.
+			if hr.TornBytes != 0 {
+				t.Errorf("%s died mid-compaction but recovery saw %d torn bytes", id, hr.TornBytes)
 			}
 		}
 	}

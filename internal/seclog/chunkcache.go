@@ -1,0 +1,298 @@
+// CacheStore is a content-addressed chunk cache built on the same immutable
+// table files as the segment store: records are (address, payload) pairs
+// packed into mmap'd .tbl files, pinned by a small manifest. It backs the
+// persistent incremental-audit cache — payloads are prepared-audit op
+// streams keyed by segment hash — but knows nothing about audits itself.
+//
+// Unlike the log store, the cache is lossy by design: a torn manifest, a
+// corrupt table, or a crash between sealing and the manifest swap loses
+// entries, never correctness — a missing entry is a cache miss and the
+// caller recomputes. That allowance keeps every failure path simple: skip
+// what does not verify, delete what is not referenced.
+package seclog
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+var cacheMetaMagic = []byte("SNPACH1\n")
+
+const (
+	// cacheSealLimit is the staged-bytes threshold at which Put seals the
+	// staged entries into a table file.
+	cacheSealLimit = 1 << 18
+	// cacheFoldAt is the table count past which a seal also folds every
+	// table into one.
+	cacheFoldAt = 6
+)
+
+// cacheRef locates one committed record: the table that holds it and its
+// assigned sequence in that table.
+type cacheRef struct {
+	table int
+	seq   uint64
+}
+
+// CacheStore is a durable address→payload cache. All methods are safe for
+// concurrent use.
+type CacheStore struct {
+	mu    sync.Mutex
+	dir   string
+	name  types.NodeID // namespaces the table files within dir
+	suite cryptoutil.Suite
+
+	tables []*tableFile
+	index  map[string]cacheRef // addr hex -> committed location
+	staged map[string][]byte   // addr hex -> payload, not yet sealed
+	addrOf map[string][]byte   // addr hex -> addr bytes (staged only)
+	bytes  int64               // staged payload bytes
+
+	sealLimit int64
+	foldAt    int
+}
+
+// OpenCacheStore opens (or creates) the cache rooted at dir. Table files it
+// cannot verify and files the manifest does not reference are removed; both
+// only ever cost cache misses.
+func OpenCacheStore(dir string, name types.NodeID, suite cryptoutil.Suite) (*CacheStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("seclog: cache dir: %w", err)
+	}
+	c := &CacheStore{
+		dir: dir, name: name, suite: suite,
+		index:  make(map[string]cacheRef),
+		staged: make(map[string][]byte),
+		addrOf: make(map[string][]byte),
+
+		sealLimit: cacheSealLimit,
+		foldAt:    cacheFoldAt,
+	}
+	want, err := readCacheMeta(filepath.Join(dir, c.metaName()))
+	if err != nil {
+		return nil, err
+	}
+	names, err := listTableFiles(dir, name, suite.HashSize())
+	if err != nil {
+		return nil, err
+	}
+	referenced := make(map[string]bool)
+	for _, h := range want {
+		path := filepath.Join(dir, tableFileName(name, h))
+		referenced[filepath.Base(path)] = true
+		t, err := openTable(path, name, suite, h)
+		if err != nil {
+			continue // lost or corrupt: those entries are misses now
+		}
+		c.tables = append(c.tables, t)
+	}
+	for _, fn := range names {
+		if !referenced[fn] {
+			_ = os.Remove(filepath.Join(dir, fn))
+		}
+	}
+	c.rebuildIndex()
+	return c, nil
+}
+
+// metaName returns the manifest file name for this cache.
+func (c *CacheStore) metaName() string {
+	return tableFileName(c.name, nil) + "meta" // <name>..tblmeta
+}
+
+// rebuildIndex re-derives the addr→location map. Later tables win, so a
+// re-Put of an address supersedes older copies once sealed.
+func (c *CacheStore) rebuildIndex() {
+	c.index = make(map[string]cacheRef)
+	for ti, t := range c.tables {
+		for seq := t.base; seq <= t.end(); seq++ {
+			c.index[hex.EncodeToString(t.addr(seq))] = cacheRef{table: ti, seq: seq}
+		}
+	}
+}
+
+// Get returns a copy of the payload stored under addr, if any.
+func (c *CacheStore) Get(addr []byte) ([]byte, bool) {
+	k := hex.EncodeToString(addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.staged[k]; ok {
+		return append([]byte(nil), p...), true
+	}
+	ref, ok := c.index[k]
+	if !ok {
+		return nil, false
+	}
+	rec := c.tables[ref.table].record(ref.seq)
+	return append([]byte(nil), rec...), true
+}
+
+// Put stages payload under addr, superseding any previous entry. When the
+// staged set grows past the seal threshold it is packed into a table file
+// synchronously.
+func (c *CacheStore) Put(addr, payload []byte) error {
+	k := hex.EncodeToString(addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.staged[k]; ok {
+		c.bytes -= int64(len(old))
+	}
+	c.staged[k] = append([]byte(nil), payload...)
+	c.addrOf[k] = append([]byte(nil), addr...)
+	c.bytes += int64(len(payload))
+	if c.bytes >= c.sealLimit {
+		return c.sealLocked()
+	}
+	return nil
+}
+
+// Sync seals any staged entries so they survive a crash.
+func (c *CacheStore) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.staged) == 0 {
+		return nil
+	}
+	return c.sealLocked()
+}
+
+// Close seals staged entries and unmaps every table.
+func (c *CacheStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	if len(c.staged) > 0 {
+		err = c.sealLocked()
+	}
+	for _, t := range c.tables {
+		if cerr := t.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.tables = nil
+	c.index = nil
+	return err
+}
+
+// sealLocked packs the staged entries into a new table, folding all tables
+// into one when there are too many, and swaps the manifest. Commit order
+// matches the log store — tables first, manifest second, deletions last —
+// so a crash anywhere loses at most the entries being sealed.
+func (c *CacheStore) sealLocked() error {
+	fold := len(c.tables)+1 > c.foldAt
+	// Assemble the records for the new table in deterministic order. When
+	// folding, older tables contribute first so staged (newest) entries win
+	// the address dedup.
+	merged := make(map[string][]byte)
+	addrs := make(map[string][]byte)
+	var retire []*tableFile
+	if fold {
+		for _, t := range c.tables {
+			for seq := t.base; seq <= t.end(); seq++ {
+				k := hex.EncodeToString(t.addr(seq))
+				merged[k] = t.record(seq)
+				addrs[k] = t.addr(seq)
+			}
+		}
+		retire = c.tables
+	}
+	for k, p := range c.staged {
+		merged[k] = p
+		addrs[k] = c.addrOf[k]
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]tableRecord, 0, len(keys))
+	for _, k := range keys {
+		recs = append(recs, tableRecord{addr: addrs[k], rec: merged[k], metered: int64(len(merged[k]))})
+	}
+
+	nt, err := writeTable(c.dir, c.name, c.suite, 1, nil, recs)
+	if err != nil {
+		return err
+	}
+	var next []*tableFile
+	if !fold {
+		next = append(next, c.tables...)
+	}
+	next = append(next, nt)
+	if err := c.writeMetaFor(next); err != nil {
+		_ = nt.close()
+		return err
+	}
+	c.tables = next
+	c.staged = make(map[string][]byte)
+	c.addrOf = make(map[string][]byte)
+	c.bytes = 0
+	c.rebuildIndex()
+	for _, t := range retire {
+		if t.path == nt.path {
+			continue // fold reproduced identical content in place
+		}
+		_ = t.close()
+		_ = os.Remove(t.path)
+	}
+	return nil
+}
+
+// writeMetaFor atomically writes the manifest naming the given tables.
+func (c *CacheStore) writeMetaFor(tables []*tableFile) error {
+	w := wire.NewWriter(64)
+	w.Raw(cacheMetaMagic)
+	w.Uint(uint64(len(tables)))
+	for _, t := range tables {
+		w.BytesField(t.hash)
+	}
+	path := filepath.Join(c.dir, c.metaName())
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// decodeCacheMeta parses a cache manifest image into the ordered table hash
+// list; ok is false for anything malformed (treated as an empty cache).
+func decodeCacheMeta(raw []byte) ([][]byte, bool) {
+	if len(raw) < len(cacheMetaMagic) || !bytes.Equal(raw[:len(cacheMetaMagic)], cacheMetaMagic) {
+		return nil, false
+	}
+	r := wire.NewReader(raw[len(cacheMetaMagic):])
+	n := r.Count()
+	var hashes [][]byte
+	for i := 0; i < n; i++ {
+		h := r.BytesField()
+		if len(h) == 0 {
+			return nil, false
+		}
+		hashes = append(hashes, h)
+	}
+	if r.Finish() != nil {
+		return nil, false
+	}
+	return hashes, true
+}
+
+func readCacheMeta(path string) ([][]byte, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("seclog: cache meta: %w", err)
+	}
+	hashes, _ := decodeCacheMeta(raw) // torn manifest = empty cache
+	return hashes, nil
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package seclog
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile is the portable fallback for platforms without syscall.Mmap: the
+// file is read into memory once. Semantics match the unix version — the
+// returned bytes are immutable and valid until the release function runs.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, fmt.Errorf("seclog: read table: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package seclog
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and returns the mapping plus its
+// release function. Table files are immutable once renamed into place, so a
+// shared read-only mapping is safe for the file's whole lifetime; the release
+// function must be called exactly once, after which the returned bytes are
+// invalid.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("seclog: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seclog: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

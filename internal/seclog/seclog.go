@@ -385,7 +385,7 @@ func (l *Log) GrossBytes() int64 { return l.grossBytes }
 
 // HeadHash returns h_k for the last entry (or the base hash when empty).
 func (l *Log) HeadHash() []byte {
-	if len(l.entries) == 0 {
+	if len(l.hashes) == 0 {
 		return l.baseHash
 	}
 	return l.hashes[len(l.hashes)-1]
@@ -622,7 +622,7 @@ func (l *Log) Truncate(seq uint64) {
 	l.first = seq
 	l.pruneCkpts()
 	if l.store != nil {
-		if err := l.store.truncate(seq); err != nil && l.storeErr == nil {
+		if err := l.store.truncate(seq, l.baseHash); err != nil && l.storeErr == nil {
 			l.storeErr = err
 		}
 	}
@@ -684,10 +684,14 @@ func (l *Log) Err() error { return l.storeErr }
 // log. AfterAppend runs after each record is staged (seq is the record's
 // sequence number); MidFlush runs between the two halves of a split group
 // write, so a hook that SIGKILLs the process leaves a torn last record on
-// disk for recovery to truncate. Both hooks run on the appending goroutine.
+// disk for recovery to truncate; MidCompact runs on the compactor goroutine
+// after the replacement table is durable but before the manifest swap
+// commits it, the widest crash window a compaction has. AfterAppend and
+// MidFlush run on the appending goroutine.
 type StoreHooks struct {
 	AfterAppend func(seq uint64)
 	MidFlush    func()
+	MidCompact  func()
 }
 
 // SetStoreHooks installs crash-injection hooks on the underlying store. It
@@ -709,7 +713,7 @@ func (l *Log) SyncedHead() (uint64, []byte) {
 	if l.store == nil {
 		return 0, nil
 	}
-	return l.store.syncedHead, append([]byte(nil), l.store.syncedHash...)
+	return l.store.syncedState()
 }
 
 // RecoveredTornBytes returns how many bytes of torn tail Open truncated when
@@ -749,7 +753,104 @@ func (l *Log) Sync() error {
 	if l.storeErr != nil {
 		return l.storeErr
 	}
-	return l.store.sync(l.first, l.Len(), l.HeadHash())
+	return l.store.sync(l.first, l.baseHash, l.Len(), l.HeadHash(), l.grossBytes, l.sealInfo)
+}
+
+// sealInfo resolves a retained record's chain hash and metered size from the
+// indexes the log already maintains; the store calls it while sealing tail
+// records into a table so sealing never re-hashes retained history. seq must
+// be in [FirstSeq(), Len()].
+func (l *Log) sealInfo(seq uint64, recLen int64) ([]byte, int64, int64) {
+	h := l.hashes[seq-l.first]
+	for i := len(l.ckpts) - 1; i >= 0; i-- {
+		if l.ckpts[i].seq == seq {
+			return h, l.ckpts[i].size, l.ckpts[i].size
+		}
+		if l.ckpts[i].seq < seq {
+			break
+		}
+	}
+	return h, recLen, 0
+}
+
+// SetStoreTuning adjusts the store's seal and fold thresholds: sealBytes is
+// the synced-tail size that triggers sealing records into an immutable
+// table, foldAt the sealed-table count that triggers a background fold.
+// Values <= 0 leave the corresponding threshold unchanged. It reports
+// whether the log is store-backed (tuning is meaningless, and ignored, for
+// in-memory logs); tests and crash harnesses lower the thresholds to force
+// seals and compactions on tiny logs.
+func (l *Log) SetStoreTuning(sealBytes, foldAt int) bool {
+	if l.store == nil {
+		return false
+	}
+	l.store.mu.Lock()
+	if sealBytes > 0 {
+		l.store.sealLimit = sealBytes
+	}
+	if foldAt > 0 {
+		l.store.foldAt = foldAt
+	}
+	l.store.mu.Unlock()
+	return true
+}
+
+// StoreTables reports how many sealed table files currently back the log (0
+// for in-memory logs and stores that have never sealed).
+func (l *Log) StoreTables() int {
+	if l.store == nil {
+		return 0
+	}
+	l.store.mu.Lock()
+	defer l.store.mu.Unlock()
+	return len(l.store.tables)
+}
+
+// TableSpan describes where one sealed table keeps its records on disk: the
+// table file path plus, per record, the offset and length of its canonical
+// encoding. It exists for read-path instrumentation — snp-bench's cold-read
+// row compares the mmap'd decode against a plain positioned read of the
+// same bytes — and the slices are copies, never aliases of the mapping.
+type TableSpan struct {
+	Path string
+	Base uint64
+	Offs []int64
+	Lens []int64
+}
+
+// StoreTableSpans returns a snapshot of the sealed tables' record layout
+// (nil for in-memory logs). Compaction may retire a table after the
+// snapshot is taken, so callers reading by path must tolerate a vanished
+// file.
+func (l *Log) StoreTableSpans() []TableSpan {
+	if l.store == nil {
+		return nil
+	}
+	l.store.mu.Lock()
+	defer l.store.mu.Unlock()
+	spans := make([]TableSpan, 0, len(l.store.tables))
+	for _, t := range l.store.tables {
+		spans = append(spans, TableSpan{
+			Path: t.path,
+			Base: t.base,
+			Offs: append([]int64(nil), t.offs...),
+			Lens: append([]int64(nil), t.lens...),
+		})
+	}
+	return spans
+}
+
+// CompactErr returns the first error the background compactor hit (nil for
+// healthy stores). Compaction failures are not sticky for the log itself —
+// the pre-compaction tables remain live and correct — but they mean disk
+// space is no longer being reclaimed, so supervisors may want to surface it.
+func (l *Log) CompactErr() error {
+	if l.store == nil {
+		return nil
+	}
+	l.store.mu.Lock()
+	defer l.store.mu.Unlock()
+	return l.store.compactErr
 }
 
 // Close syncs and releases the segment store. The log must not be used

@@ -2,26 +2,42 @@
 // tamper-evident log (the Thist retention substrate of §5.6). The store
 // holds the wire encoding of every entry ever appended; the Log keeps only a
 // configurable hot tail of decoded entries resident and re-reads cold
-// history from the file on demand, so long retention windows no longer grow
-// the heap.
+// history on demand, so long retention windows no longer grow the heap.
 //
-// On-disk layout (one data file plus a small sidecar per node):
+// On-disk layout (per node): an active tail file, zero or more sealed
+// content-addressed table files, and a manifest:
 //
-//	<dir>/<node>.seglog   header ‖ record*      (append-only)
-//	<dir>/<node>.segmeta  logical-first + last synced head (rewritten atomically)
+//	<dir>/<node>.seglog        header ‖ record*            (append-only tail)
+//	<dir>/<node>.<hash>.tbl    immutable sealed tables     (see table.go)
+//	<dir>/<node>.segmeta       manifest                    (rewritten atomically)
 //
-// The data file header commits to the node ID, the sequence number of the
+// The tail file header commits to the node ID, the sequence number of its
 // first record, and the hash-chain value preceding it; each record is a
 // uvarint length followed by the entry's canonical wire encoding — exactly
 // the bytes the chain hash covers, so recovery can re-verify the chain
-// without trusting anything but the header.
+// without trusting anything but the header. When the synced tail grows past
+// sealLimit, its records are sealed into a table file addressed by the hash
+// of its own bytes and the tail is rotated; sealed history is then read
+// through a shared read-only mapping instead of a pread per cold entry. A
+// background compactor folds small tables together and drops tables that
+// fall wholly below the retention boundary.
 //
-// Crash recovery (Open) replays the file: records are decoded one by one,
-// the hash chain is recomputed from the persisted base hash, and a torn or
-// garbled tail — the signature of a crash mid-append — is truncated away at
-// the last intact record. If the sidecar records a previously synced head,
-// the recovered chain must still pass through it; a mismatch is evidence of
-// tampering with the file, not of a crash, and Open refuses the store.
+// Every structural change commits through the manifest swap, in an order
+// that keeps some complete copy of every record reachable at all times:
+// seal writes and fsyncs the table, swaps the manifest, then rotates the
+// tail; compaction writes and fsyncs the folded table, swaps the manifest,
+// then deletes the tables it replaced. A crash between any two steps leaves
+// either an orphan table (not yet referenced — garbage-collected on Open) or
+// a tail that still duplicates sealed records (skipped and re-rotated on
+// Open).
+//
+// Crash recovery (Open) verifies sealed tables by their content address and
+// inter-table chain linkage, replays only the tail — recomputing the hash
+// chain from the persisted base hash — and truncates a torn or garbled tail
+// left by a crash mid-append at the last intact record. If the manifest
+// records a previously synced head, the recovered chain must still pass
+// through it; a mismatch is evidence of tampering, not of a crash, and Open
+// refuses the store.
 package seclog
 
 import (
@@ -31,6 +47,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/types"
@@ -38,10 +55,12 @@ import (
 )
 
 // File-format magics. The trailing newline keeps accidental text files from
-// matching.
+// matching. SNPMET2 is the manifest generation of the sidecar; SNPMET1
+// sidecars (single synced-head record, no table list) read as absent, which
+// recovery already treats as "never synced".
 var (
 	storeMagic = []byte("SNPSEG1\n")
-	metaMagic  = []byte("SNPMET1\n")
+	metaMagic  = []byte("SNPMET2\n")
 )
 
 // storeBufLimit is the append write-buffer threshold: records accumulate in
@@ -50,10 +69,28 @@ var (
 // syscalls per record.
 const storeBufLimit = 1 << 18
 
-// Store is the file layer under a store-backed Log: an append-only record
-// file plus an in-memory seq→offset index. It is not safe for concurrent
-// use; the owning Log serializes access (nodes are single-threaded by
-// contract).
+// storeSealLimit is the sealing threshold: once a sync finds at least this
+// many record bytes in the tail, they are sealed into an immutable table
+// file and the tail is rotated. Small stores (tests, short experiments)
+// never reach it and live entirely in the tail, exactly as before tables
+// existed.
+const storeSealLimit = 1 << 18
+
+// storeFoldAt is the table count past which the background compactor folds
+// the sealed tables into one.
+const storeFoldAt = 6
+
+// sealInfoFn resolves, for a retained record about to be sealed, its chain
+// hash (the table address), its metered size (digest form for checkpoints),
+// and whether it is a checkpoint. The Log provides it from the indexes it
+// already maintains, so sealing never re-hashes retained history.
+type sealInfoFn func(seq uint64, recLen int64) (hash []byte, metered int64, ckptSize int64)
+
+// Store is the file layer under a store-backed Log: an append-only tail
+// file, the sealed tables, and an in-memory seq→offset index for the tail.
+// The tail is owned by the Log's goroutine (nodes are single-threaded by
+// contract); the sealed-table set and the manifest mirror are shared with
+// the background compactor and guarded by mu.
 //
 // Appends are buffered: records land in buf and are written out in groups
 // (flushBuf) when the buffer fills, when a read needs a still-buffered
@@ -63,29 +100,40 @@ const storeBufLimit = 1 << 18
 // any missing tail past the last synced head as a torn append, so the
 // failure model is unchanged, only the window is wider.
 type Store struct {
+	dir      string
 	path     string
 	metaPath string
 	f        *os.File
+	suite    cryptoutil.Suite
 
-	// hooks are crash-injection points for fault testing (StoreHooks); both
+	// hooks are crash-injection points for fault testing (StoreHooks); all
 	// are nil in production use.
 	hooks StoreHooks
 
-	node     types.NodeID
-	base     uint64 // sequence number of the first record in the file
-	baseHash []byte // chain hash h_{base-1}
-	offsets  []int64
-	size     int64 // logical size: flushed bytes plus len(buf)
+	node      types.NodeID
+	base      uint64 // sequence number of the first record in the tail file
+	baseHash  []byte // chain hash h_{base-1}
+	offsets   []int64
+	size      int64 // logical tail size: flushed bytes plus len(buf)
+	headerLen int64
 
 	buf      []byte
-	flushed  int64 // bytes actually written to the file (buf starts here)
+	flushed  int64 // bytes actually written to the tail file (buf starts here)
 	bufLimit int   // flush threshold; 0 flushes after every append
 
-	// syncedHead/syncedHash mirror the sidecar: the last head position that
-	// was durably recorded. Truncation rewrites the sidecar's logical first
-	// without asserting a newer head than was actually synced.
-	syncedHead uint64
-	syncedHash []byte
+	sealLimit int // tail record bytes that trigger sealing on sync
+	foldAt    int // sealed-table count that triggers a background fold
+
+	// mu guards everything below: the sealed tables, the manifest mirror,
+	// and the compactor's single-flight state.
+	mu         sync.Mutex
+	tables     []*tableFile
+	man        manifest // what the sidecar on disk says (or will say next write)
+	synced     bool     // a manifest has been written
+	compacting bool
+	compactErr error
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 // storeFileName maps a node ID to a safe file name (node IDs may contain
@@ -93,42 +141,85 @@ type Store struct {
 func storeFileName(node types.NodeID) string { return url.PathEscape(string(node)) + ".seglog" }
 func metaFileName(node types.NodeID) string  { return url.PathEscape(string(node)) + ".segmeta" }
 
-// createStore creates (or truncates) the segment store for node under dir
-// and writes the header. base is the sequence number the first appended
-// record will get; baseHash is the chain value preceding it.
-func createStore(dir string, node types.NodeID, base uint64, baseHash []byte) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("seclog: store dir: %w", err)
-	}
-	path := filepath.Join(dir, storeFileName(node))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("seclog: create store: %w", err)
-	}
-	s := &Store{
-		path:     path,
-		metaPath: filepath.Join(dir, metaFileName(node)),
-		f:        f,
-		node:     node,
-		base:     base,
-		baseHash: append([]byte(nil), baseHash...),
-		bufLimit: storeBufLimit,
-	}
+// writeTailFile creates a fresh tail file at path (via tmp + rename when
+// replacing a live one) holding the header and the given raw record region,
+// and returns the open handle plus the header length.
+func writeTailFile(path string, node types.NodeID, base uint64, baseHash []byte, records []byte, atomic bool) (*os.File, int64, error) {
 	w := wire.NewWriter(64)
 	w.Raw(storeMagic)
 	w.String(string(node))
 	w.Uint(base)
 	w.BytesField(baseHash)
+	headerLen := int64(w.Len())
+	target := path
+	if atomic {
+		target = path + ".tmp"
+	}
+	f, err := os.OpenFile(target, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("seclog: create store: %w", err)
+	}
 	if _, err := f.Write(w.Bytes()); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("seclog: store header: %w", err)
+		return nil, 0, fmt.Errorf("seclog: store header: %w", err)
 	}
-	s.size = int64(w.Len())
-	s.flushed = s.size
-	// Remove any stale sidecar from an earlier incarnation of this node.
+	if len(records) > 0 {
+		if _, err := f.Write(records); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("seclog: store rotate: %w", err)
+		}
+	}
+	if atomic {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("seclog: store rotate: %w", err)
+		}
+		if err := os.Rename(target, path); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("seclog: store rotate: %w", err)
+		}
+	}
+	return f, headerLen, nil
+}
+
+// createStore creates (or truncates) the segment store for node under dir
+// and writes the tail header. base is the sequence number the first appended
+// record will get; baseHash is the chain value preceding it.
+func createStore(dir string, node types.NodeID, suite cryptoutil.Suite, base uint64, baseHash []byte) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("seclog: store dir: %w", err)
+	}
+	path := filepath.Join(dir, storeFileName(node))
+	f, headerLen, err := writeTailFile(path, node, base, baseHash, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		path:      path,
+		metaPath:  filepath.Join(dir, metaFileName(node)),
+		f:         f,
+		suite:     suite,
+		node:      node,
+		base:      base,
+		baseHash:  append([]byte(nil), baseHash...),
+		headerLen: headerLen,
+		size:      headerLen,
+		flushed:   headerLen,
+		bufLimit:  storeBufLimit,
+		sealLimit: storeSealLimit,
+		foldAt:    storeFoldAt,
+	}
+	// Remove any stale sidecar and tables from an earlier incarnation of
+	// this node.
 	if err := os.Remove(s.metaPath); err != nil && !os.IsNotExist(err) {
 		f.Close()
 		return nil, fmt.Errorf("seclog: store meta: %w", err)
+	}
+	if stale, err := listTableFiles(dir, node, suite.HashSize()); err == nil {
+		for _, name := range stale {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 	}
 	return s, nil
 }
@@ -154,7 +245,7 @@ func (s *Store) append(rec []byte) error {
 	return nil
 }
 
-// flushBuf writes the buffered records to the file in one positioned write.
+// flushBuf writes the buffered records to the tail in one positioned write.
 // With a MidFlush hook installed, the group is written in two parts — all but
 // the final byte, the hook, then the final byte — so a hook that kills the
 // process leaves a genuinely torn last record on disk, exactly the state a
@@ -180,12 +271,35 @@ func (s *Store) flushBuf() error {
 	return nil
 }
 
-// head returns the sequence number of the last record (base-1 when empty).
+// head returns the sequence number of the last record (base-1 when the tail
+// is empty — the tail base always follows the sealed tables directly, so
+// this is the store-wide head too).
 func (s *Store) head() uint64 { return s.base - 1 + uint64(len(s.offsets)) }
 
-// entry reads and decodes record seq from the file.
+// entry reads and decodes record seq: straight from the tail file for
+// records past the tail base, from the sealed tables' shared mapping (no
+// read syscall) for older ones.
 func (s *Store) entry(seq uint64) (*Entry, error) {
-	if seq < s.base || seq > s.head() {
+	if seq >= s.base {
+		return s.tailEntry(seq)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tables {
+		if t.has(seq) {
+			return decodeTableEntry(t, seq)
+		}
+	}
+	lo := s.base
+	if len(s.tables) > 0 {
+		lo = s.tables[0].base
+	}
+	return nil, fmt.Errorf("seclog: store has no record %d (have %d..%d)", seq, lo, s.head())
+}
+
+// tailEntry serves a record from the active tail file.
+func (s *Store) tailEntry(seq uint64) (*Entry, error) {
+	if seq > s.head() {
 		return nil, fmt.Errorf("seclog: store has no record %d (have %d..%d)", seq, s.base, s.head())
 	}
 	i := seq - s.base
@@ -215,57 +329,19 @@ func (s *Store) entry(seq uint64) (*Entry, error) {
 	return e, nil
 }
 
-// writeMeta atomically rewrites the sidecar: the logical first sequence
-// (Thist truncation) and the last synced head position with its chain hash.
-func (s *Store) writeMeta(first, headSeq uint64, headHash []byte) error {
-	w := wire.NewWriter(64)
-	w.Raw(metaMagic)
-	w.Uint(first)
-	w.Uint(headSeq)
-	w.BytesField(headHash)
+// writeMetaLocked atomically rewrites the sidecar from the manifest mirror.
+// Callers hold mu.
+func (s *Store) writeMetaLocked() error {
+	raw := encodeManifest(&s.man)
 	tmp := s.metaPath + ".tmp"
-	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("seclog: store meta: %w", err)
 	}
 	if err := os.Rename(tmp, s.metaPath); err != nil {
 		return fmt.Errorf("seclog: store meta: %w", err)
 	}
+	s.synced = true
 	return nil
-}
-
-// readMeta loads the sidecar; ok is false when none exists (a store that was
-// never synced or truncated) — or when the bytes do not decode as a sidecar.
-//
-// A missing, truncated, or garbled sidecar is treated as absent rather than
-// fatal: the sidecar is rewritten (tmp + rename) on every sync, and a crash
-// racing that rewrite on a non-atomic filesystem can leave torn bytes behind.
-// Recovery then falls back to the full-chain replay, which re-verifies every
-// record against the persisted base hash. The cost of the fallback is
-// discrimination, not safety: without a trusted synced head the store cannot
-// distinguish a tamperer who truncated the file from a crash that lost a
-// tail — the same epistemic state as a store that was never synced. The §4.2
-// guarantee is unaffected either way, because provable evidence rests on
-// peer-held authenticators, never on the node's own sidecar. Only a real I/O
-// error (unreadable file) remains fatal.
-func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err error) {
-	raw, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return 0, 0, nil, false, nil
-	}
-	if err != nil {
-		return 0, 0, nil, false, fmt.Errorf("seclog: store meta: %w", err)
-	}
-	if len(raw) < len(metaMagic) || !bytes.Equal(raw[:len(metaMagic)], metaMagic) {
-		return 0, 0, nil, false, nil
-	}
-	r := wire.NewReader(raw[len(metaMagic):])
-	first = r.Uint()
-	headSeq = r.Uint()
-	headHash = r.BytesField()
-	if err := r.Finish(); err != nil {
-		return 0, 0, nil, false, nil
-	}
-	return first, headSeq, headHash, true, nil
 }
 
 // ReadSidecar reports the on-disk sidecar state for node under dir: the
@@ -274,38 +350,182 @@ func readMeta(path string) (first, headSeq uint64, headHash []byte, ok bool, err
 // sidecar file — safe to call on a live store from another process, since
 // the sidecar is replaced atomically.
 func ReadSidecar(dir string, node types.NodeID) (first, headSeq uint64, headHash []byte, ok bool, err error) {
-	return readMeta(filepath.Join(dir, metaFileName(node)))
+	m, ok, err := readMeta(filepath.Join(dir, metaFileName(node)))
+	if !ok || err != nil {
+		return 0, 0, nil, ok, err
+	}
+	return m.first, m.head, m.headHash, true, nil
 }
 
 // sync group-commits the buffered appends (one write, one fsync for the
-// whole group) and records the current head in the sidecar, so a later Open
-// can distinguish tampering from a crash up to this point.
-func (s *Store) sync(first, headSeq uint64, headHash []byte) error {
+// whole group) and records the current state in the manifest, so a later
+// Open can distinguish tampering from a crash up to this point. When the
+// synced tail has outgrown sealLimit, its records are sealed into a table
+// file and the tail is rotated; info resolves chain hashes and metered sizes
+// for retained records (nil disables sealing — used only while healing
+// during Open, before the Log exists).
+func (s *Store) sync(first uint64, firstHash []byte, headSeq uint64, headHash []byte, gross int64, info sealInfoFn) error {
 	if err := s.flushBuf(); err != nil {
 		return err
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("seclog: store sync: %w", err)
 	}
-	if err := s.writeMeta(first, headSeq, headHash); err != nil {
+	s.mu.Lock()
+	s.man.first = first
+	s.man.firstHash = append([]byte(nil), firstHash...)
+	s.man.head = headSeq
+	s.man.headHash = append([]byte(nil), headHash...)
+	s.man.gross = gross
+	s.man.tailBase = s.base
+	err := s.writeMetaLocked()
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	s.syncedHead = headSeq
-	s.syncedHash = append([]byte(nil), headHash...)
+	if info != nil && s.size-s.headerLen >= int64(s.sealLimit) && s.head() >= s.base {
+		if err := s.seal(first, headHash, info); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// seal moves the tail's records (all of them — the tail is fully flushed and
+// fsynced by the time seal runs) into an immutable content-addressed table
+// and rotates the tail to empty. Commit order: table fsynced first, manifest
+// swap second, tail rotation last; a crash leaves either an unreferenced
+// table or a tail whose leading records duplicate the freshly sealed table,
+// both of which Open repairs.
+func (s *Store) seal(first uint64, headHash []byte, info sealInfoFn) error {
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		return fmt.Errorf("seclog: store seal: %w", err)
+	}
+	if int64(len(raw)) != s.flushed {
+		return fmt.Errorf("seclog: store seal: tail is %d bytes, expected %d", len(raw), s.flushed)
+	}
+	head := s.head()
+	recs := make([]tableRecord, 0, len(s.offsets))
+	prev := s.baseHash
+	for i, off := range s.offsets {
+		seq := s.base + uint64(i)
+		end := s.flushed
+		if i+1 < len(s.offsets) {
+			end = s.offsets[i+1]
+		}
+		frame := raw[off:end]
+		n, ln := binary.Uvarint(frame)
+		if ln <= 0 || uint64(len(frame)-ln) != n {
+			return fmt.Errorf("seclog: store seal: record %d has a corrupt length", seq)
+		}
+		rec := frame[ln:]
+		var tr tableRecord
+		if seq >= first {
+			hash, metered, ckptSize := info(seq, int64(len(rec)))
+			tr = tableRecord{addr: hash, rec: rec, metered: metered, ckptSize: ckptSize}
+		} else {
+			// Truncated-but-retained record: the Log no longer indexes it,
+			// so recompute its chain hash and metered size from the bytes.
+			e := new(Entry)
+			if derr := wire.Decode(rec, e); derr != nil {
+				return fmt.Errorf("seclog: store seal: record %d: %w", seq, derr)
+			}
+			hash := chainHash(s.suite, nil, prev, e)
+			metered := int64(len(rec))
+			var ckptSize int64
+			if e.Type == ECkpt {
+				metered = int64(e.WireSize())
+				ckptSize = metered
+			}
+			tr = tableRecord{addr: hash, rec: rec, metered: metered, ckptSize: ckptSize}
+		}
+		prev = tr.addr
+		recs = append(recs, tr)
+	}
+	t, err := writeTable(s.dir, s.node, s.suite, s.base, s.baseHash, recs)
+	if err != nil {
+		return err
+	}
+	// Commit point: the manifest swap makes the table part of the store and
+	// moves the tail base past it.
+	s.mu.Lock()
+	s.tables = append(s.tables, t)
+	s.man.tables = append(s.man.tables, manifestTable{hash: t.hash, base: t.base, count: t.count()})
+	s.man.tailBase = head + 1
+	err = s.writeMetaLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Rotate the tail. The sealed records stay reachable through the table
+	// whatever happens from here on.
+	f, headerLen, err := writeTailFile(s.path, s.node, head+1, headHash, nil, true)
+	if err != nil {
+		return err
+	}
+	old := s.f
+	s.f = f
+	_ = old.Close()
+	s.base = head + 1
+	s.baseHash = append([]byte(nil), headHash...)
+	s.offsets = s.offsets[:0]
+	s.headerLen = headerLen
+	s.size = headerLen
+	s.flushed = headerLen
+	s.buf = s.buf[:0]
 	return nil
 }
 
 // truncate persists a new logical first without claiming a newer synced
-// head than the sidecar already holds.
-func (s *Store) truncate(first uint64) error {
-	return s.writeMeta(first, s.syncedHead, s.syncedHash)
+// head than the manifest already holds, then lets the compactor drop any
+// tables that fell wholly below the boundary.
+func (s *Store) truncate(first uint64, firstHash []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.synced && len(s.tables) == 0 {
+		// Match the pre-table behavior: the first truncate of a never-synced
+		// store creates the sidecar with a zero synced head.
+		s.man.tailBase = s.base
+	}
+	s.man.first = first
+	s.man.firstHash = append([]byte(nil), firstHash...)
+	if err := s.writeMetaLocked(); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
 }
 
-// close flushes buffered appends and releases the file handle.
+// syncedState returns the manifest's synced head (sequence and chain hash).
+func (s *Store) syncedState() (uint64, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.head, append([]byte(nil), s.man.headHash...)
+}
+
+// close flushes buffered appends, waits for any in-flight compaction, and
+// releases the tail handle and the table mappings.
 func (s *Store) close() error {
 	err := s.flushBuf()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
+	}
+	s.mu.Lock()
+	tables := s.tables
+	s.tables = nil
+	s.mu.Unlock()
+	for _, t := range tables {
+		if cerr := t.close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
@@ -315,7 +535,7 @@ func (s *Store) close() error {
 // (<=0 keeps everything hot; the store is then pure durability).
 func NewStored(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey,
 	stats *cryptoutil.Stats, hotTail int) (*Log, error) {
-	st, err := createStore(dir, node, 1, nil)
+	st, err := createStore(dir, node, suite, 1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -325,57 +545,102 @@ func NewStored(dir string, node types.NodeID, suite cryptoutil.Suite, key crypto
 	return l, nil
 }
 
-// Open reopens a store-backed log from dir after a restart or crash. It
-// replays the data file, re-verifying the hash chain against the persisted
-// base hash (and, when the sidecar has a synced head, against that head),
-// truncates a torn tail left by a crash mid-append, and restores the
-// logical first/head state — so the reopened log serves retrieve and audit
-// requests byte-for-byte identically to the log that wrote the file.
+// Open reopens a store-backed log from dir after a restart or crash. Sealed
+// tables are verified by content address and chain linkage; the tail file is
+// replayed, re-verifying the hash chain against the persisted base hash
+// (and, when the manifest has a synced head, against that head); a torn tail
+// left by a crash mid-append is truncated away; an interrupted seal or
+// compaction is rolled forward or back (orphan tables collected, a
+// half-rotated tail re-rotated) — so the reopened log serves retrieve and
+// audit requests byte-for-byte identically to the log that wrote the files.
 //
 // key may be nil when the reopened log only serves reads (Segment, Entry,
 // Hash); signing operations then fail.
-//
-// Recovery currently buffers the whole data file and decodes every record
-// before trimming to the hot tail — O(file) memory for the duration of
-// Open. Streaming replay (keep only the running hash and the tail) is a
-// noted follow-up for stores that outgrow recovery-time memory.
 func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.PrivateKey,
 	stats *cryptoutil.Stats, hotTail int) (*Log, error) {
 	path := filepath.Join(dir, storeFileName(node))
+	metaPath := filepath.Join(dir, metaFileName(node))
+	man, manOK, err := readMeta(metaPath)
+	if err != nil {
+		return nil, err
+	}
+
+	tables, gcNames, err := recoverTables(dir, node, suite, man, manOK)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, t := range tables {
+			_ = t.close()
+		}
+	}
+
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		closeAll()
 		return nil, fmt.Errorf("seclog: open store: %w", err)
 	}
 	r := wire.NewReader(raw)
 	if !bytes.Equal(r.Raw(len(storeMagic)), storeMagic) {
+		closeAll()
 		return nil, fmt.Errorf("seclog: %s is not a segment store", path)
 	}
 	if got := types.NodeID(r.String()); got != node {
+		closeAll()
 		return nil, fmt.Errorf("seclog: store %s belongs to node %s, not %s", path, got, node)
 	}
-	base := r.Uint()
-	baseHash := r.BytesField()
+	tailBase := r.Uint()
+	tailBaseHash := r.BytesField()
 	if err := r.Err(); err != nil {
+		closeAll()
 		return nil, fmt.Errorf("seclog: store header: %w", err)
 	}
-	if base == 0 {
+	if tailBase == 0 {
+		closeAll()
 		return nil, fmt.Errorf("seclog: store %s has invalid base sequence 0", path)
 	}
 	headerLen := int64(len(raw) - r.Remaining())
 
-	// Replay the records, recomputing the chain. A record that cannot be
-	// fully read or decoded marks the torn tail: everything before it is
+	// Reconcile the tail with the sealed tables. A tail that starts before
+	// the end of the last table is the footprint of a seal interrupted
+	// before rotation: its leading records duplicate sealed ones and are
+	// skipped (the table is authoritative). A gap is not survivable.
+	var skip uint64
+	base := tailBase // first sequence the replay below will produce
+	prev := tailBaseHash
+	if n := len(tables); n > 0 {
+		last := tables[n-1]
+		switch {
+		case tailBase == last.end()+1:
+			if !bytes.Equal(tailBaseHash, last.headHash()) {
+				closeAll()
+				return nil, fmt.Errorf("seclog: store %s: %w between table %d..%d and tail", path, ErrChainMismatch, last.base, last.end())
+			}
+		case tailBase <= last.end():
+			skip = last.end() + 1 - tailBase
+			base = last.end() + 1
+			prev = last.headHash()
+		default:
+			closeAll()
+			return nil, fmt.Errorf("seclog: store %s: records %d..%d missing between tables and tail", path, last.end()+1, tailBase-1)
+		}
+	}
+
+	// Replay the tail records, recomputing the chain. A record that cannot
+	// be fully read or decoded marks the torn tail: everything before it is
 	// intact (the chain vouches for it), everything from it on is discarded.
 	var (
-		entries  []*Entry
-		hashes   [][]byte
-		offsets  []int64
-		ckpts    []ckptRef
-		gross    int64
-		prev     = baseHash
-		goodSize = headerLen
+		entries   []*Entry
+		hashes    [][]byte
+		offsets   []int64
+		sizes     []int64 // metered (digest-form) size per replayed entry
+		ckpts     []ckptRef
+		tailGross int64
+		goodSize  = headerLen
+		seq       = tailBase - 1
 	)
 	for r.Remaining() > 0 {
+		frameStart := int64(len(raw) - r.Remaining())
 		recLen := r.Uint()
 		if r.Err() != nil || recLen > uint64(r.Remaining()) {
 			break // torn length prefix
@@ -385,8 +650,15 @@ func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.
 		if err := wire.Decode(rec, e); err != nil {
 			break // torn record
 		}
-		seq := base + uint64(len(entries))
-		offsets = append(offsets, goodSize)
+		seq++
+		goodSize = int64(len(raw) - r.Remaining())
+		if seq < base {
+			// Duplicate of a sealed record (interrupted rotation); the
+			// table's content address vouches for that range, so the bytes
+			// are skipped rather than re-verified.
+			continue
+		}
+		offsets = append(offsets, frameStart)
 		prev = chainHash(suite, stats, prev, e)
 		hashes = append(hashes, prev)
 		entries = append(entries, e)
@@ -396,60 +668,144 @@ func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.
 		if e.Type == ECkpt {
 			size = int64(e.WireSize())
 		}
-		gross += size
+		sizes = append(sizes, size)
+		tailGross += size
 		if e.Type == ECkpt {
 			ckpts = append(ckpts, ckptRef{seq: seq, size: size})
 		}
-		goodSize = int64(len(raw) - r.Remaining())
 	}
 	head := base - 1 + uint64(len(entries))
 
-	first := base
-	if mFirst, mHead, mHash, ok, err := readMeta(filepath.Join(dir, metaFileName(node))); err != nil {
-		return nil, err
-	} else if ok {
+	avail := base // earliest sequence present anywhere
+	if len(tables) > 0 {
+		avail = tables[0].base
+	}
+	availBaseHash := tailBaseHash
+	if len(tables) > 0 {
+		availBaseHash = tables[0].baseHash
+	}
+	// hashAt resolves h_k for avail-1 <= k <= head from the tables' indexes
+	// and the replayed tail.
+	hashAt := func(k uint64) []byte {
+		if k == avail-1 {
+			return availBaseHash
+		}
+		if k >= base {
+			return hashes[k-base]
+		}
+		for _, t := range tables {
+			if t.has(k) {
+				return t.addr(k)
+			}
+		}
+		return nil
+	}
+
+	first := avail
+	gross := int64(0)
+	for _, t := range tables {
+		gross += t.gross
+	}
+	gross += tailGross
+	if manOK {
 		// The synced head must lie on the recovered chain: a shorter chain
 		// means data the node had committed to is gone (not a torn-append
 		// crash), and a different hash means the file was rewritten.
-		if mHead > head {
-			return nil, fmt.Errorf("seclog: store %s lost entries %d..%d past the synced head", path, head+1, mHead)
+		if man.head > head {
+			closeAll()
+			return nil, fmt.Errorf("seclog: store %s lost entries %d..%d past the synced head", path, head+1, man.head)
 		}
-		if mHead >= base {
-			if !bytes.Equal(hashes[mHead-base], mHash) {
-				return nil, fmt.Errorf("seclog: store %s: %w at synced head %d", path, ErrChainMismatch, mHead)
+		if man.head >= avail {
+			if !bytes.Equal(hashAt(man.head), man.headHash) {
+				closeAll()
+				return nil, fmt.Errorf("seclog: store %s: %w at synced head %d", path, ErrChainMismatch, man.head)
 			}
-		} else if mHead == base-1 && !bytes.Equal(baseHash, mHash) {
+		} else if man.head == avail-1 && !bytes.Equal(availBaseHash, man.headHash) {
+			closeAll()
 			return nil, fmt.Errorf("seclog: store %s: %w at base", path, ErrChainMismatch)
 		}
-		if mFirst > first {
-			first = mFirst
+		if man.first > first {
+			first = man.first
+		}
+		if man.first < avail {
+			closeAll()
+			return nil, fmt.Errorf("seclog: store %s lost entries %d..%d inside the retention window", path, man.first, avail-1)
+		}
+		// Gross is metered from the manifest (compaction may have deleted
+		// truncated records it would otherwise be recomputed from), plus
+		// whatever the tail holds beyond the synced head.
+		gross = man.gross
+		for i := range entries {
+			if base+uint64(i) > man.head {
+				gross += sizes[i]
+			}
 		}
 	}
 	if first > head+1 {
 		first = head + 1
 	}
+	// Verify the retention boundary hash when the manifest pins one.
+	if manOK && len(man.firstHash) > 0 && first == man.first && first >= avail && first <= head+1 {
+		if h := hashAt(first - 1); h != nil && !bytes.Equal(h, man.firstHash) {
+			closeAll()
+			return nil, fmt.Errorf("seclog: store %s: %w at retention boundary %d", path, ErrChainMismatch, first)
+		}
+	}
 
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
+		closeAll()
 		return nil, fmt.Errorf("seclog: open store: %w", err)
 	}
 	if goodSize < int64(len(raw)) {
 		if err := f.Truncate(goodSize); err != nil {
 			f.Close()
+			closeAll()
 			return nil, fmt.Errorf("seclog: truncate torn tail: %w", err)
 		}
 	}
+
 	st := &Store{
-		path:     path,
-		metaPath: filepath.Join(dir, metaFileName(node)),
-		f:        f,
-		node:     node,
-		base:     base,
-		baseHash: append([]byte(nil), baseHash...),
-		offsets:  offsets,
-		size:     goodSize,
-		flushed:  goodSize,
-		bufLimit: storeBufLimit,
+		dir:       dir,
+		path:      path,
+		metaPath:  metaPath,
+		f:         f,
+		suite:     suite,
+		node:      node,
+		base:      tailBase,
+		baseHash:  append([]byte(nil), tailBaseHash...),
+		offsets:   offsets,
+		headerLen: headerLen,
+		size:      goodSize,
+		flushed:   goodSize,
+		bufLimit:  storeBufLimit,
+		sealLimit: storeSealLimit,
+		foldAt:    storeFoldAt,
+		tables:    tables,
+	}
+	if skip > 0 {
+		// Finish the interrupted rotation: rewrite the tail without the
+		// records the sealed table already holds.
+		if err := st.rotateTail(base, prevOfTail(tables), raw[:goodSize], offsets); err != nil {
+			f.Close()
+			closeAll()
+			return nil, err
+		}
+	}
+
+	// Drop tables that fell wholly below the retention boundary before the
+	// log ever serves from them (the compactor would get there anyway).
+	st.mu.Lock()
+	st.man.tables = st.man.tables[:0]
+	for _, t := range st.tables {
+		st.man.tables = append(st.man.tables, manifestTable{hash: t.hash, base: t.base, count: t.count()})
+	}
+	st.mu.Unlock()
+
+	// Collect orphans: table files on disk that the recovered store does not
+	// reference (interrupted seals and compactions).
+	for _, name := range gcNames {
+		_ = os.Remove(filepath.Join(dir, name))
 	}
 
 	l := New(node, suite, key, stats)
@@ -458,26 +814,215 @@ func Open(dir string, node types.NodeID, suite cryptoutil.Suite, key cryptoutil.
 	l.first = first
 	l.grossBytes = gross
 	l.recoveredTorn = int64(len(raw)) - goodSize
-	l.ckpts = ckpts
-	l.pruneCkpts()
-	if first == base {
-		l.baseHash = append([]byte(nil), baseHash...)
-	} else {
-		l.baseHash = hashes[first-1-base]
+	for _, t := range tables {
+		for _, c := range t.ckpts {
+			if c.seq >= first {
+				l.ckpts = append(l.ckpts, c)
+			}
+		}
 	}
-	l.hashes = hashes[first-base:]
-	// Keep only the hot tail resident; cold history stays on disk.
-	l.hotFirst = first
-	resident := entries[first-base:]
+	l.ckpts = append(l.ckpts, ckpts...)
+	l.pruneCkpts()
+	if fh := hashAt(first - 1); fh != nil {
+		l.baseHash = append([]byte(nil), fh...)
+	}
+	for k := first; k <= head; k++ {
+		l.hashes = append(l.hashes, append([]byte(nil), hashAt(k)...))
+	}
+	// Keep only the hot tail resident; cold history stays in the tables and
+	// the tail file. With no hot-tail bound everything must be resident, so
+	// sealed entries are decoded once from the mapping.
+	l.hotFirst = base
+	if first > base {
+		l.hotFirst = first
+		entries = entries[first-base:]
+	}
+	resident := entries
 	if hotTail > 0 && len(resident) > hotTail {
 		l.hotFirst = head - uint64(hotTail) + 1
 		resident = resident[len(resident)-hotTail:]
 	}
+	if hotTail <= 0 && l.hotFirst > first {
+		var cold []*Entry
+		for k := first; k < l.hotFirst; k++ {
+			e, derr := st.entry(k)
+			if derr != nil {
+				f.Close()
+				closeAll()
+				return nil, derr
+			}
+			cold = append(cold, e)
+		}
+		resident = append(cold, resident...)
+		l.hotFirst = first
+	}
 	l.entries = append([]*Entry(nil), resident...)
 	// Record the recovered state as the new synced head.
-	if err := st.sync(l.first, head, l.HeadHash()); err != nil {
-		f.Close()
+	if err := st.sync(l.first, l.baseHash, head, l.HeadHash(), l.grossBytes, nil); err != nil {
+		_ = st.close()
 		return nil, err
 	}
 	return l, nil
+}
+
+// recoverTables assembles the sealed-table set for Open. With an intact
+// manifest the referenced tables must all open and verify — anything else is
+// missing committed data — and every unreferenced table file is returned for
+// collection. Without one, recovery falls back to reassembling the longest
+// chain-consistent run of tables that verify by content address (unused
+// files are left in place: with no manifest there is no authority to delete
+// on).
+func recoverTables(dir string, node types.NodeID, suite cryptoutil.Suite, man *manifest, manOK bool) ([]*tableFile, []string, error) {
+	names, err := listTableFiles(dir, node, suite.HashSize())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	if manOK {
+		referenced := make(map[string]bool, len(man.tables))
+		var tables []*tableFile
+		for _, mt := range man.tables {
+			name := tableFileName(node, mt.hash)
+			referenced[name] = true
+			t, terr := openTable(filepath.Join(dir, name), node, suite, mt.hash)
+			if terr != nil {
+				for _, o := range tables {
+					_ = o.close()
+				}
+				return nil, nil, fmt.Errorf("seclog: store %s: sealed table %d..%d unrecoverable: %w", dir, mt.base, mt.end(), terr)
+			}
+			if t.base != mt.base || t.count() != mt.count {
+				_ = t.close()
+				for _, o := range tables {
+					_ = o.close()
+				}
+				return nil, nil, fmt.Errorf("seclog: store %s: table %s claims %d..%d, manifest says %d..%d", dir, name, t.base, t.end(), mt.base, mt.end())
+			}
+			tables = append(tables, t)
+		}
+		if err := verifyTableChain(tables); err != nil {
+			for _, o := range tables {
+				_ = o.close()
+			}
+			return nil, nil, err
+		}
+		var gc []string
+		for _, name := range names {
+			if !referenced[name] {
+				gc = append(gc, name)
+			}
+		}
+		return tables, gc, nil
+	}
+	// Fallback: open whatever verifies, then greedily chain the longest
+	// contiguous run ending at the highest sequence (folded tables subsume
+	// the smaller ones they replaced, so prefer wider tables at each step).
+	var cands []*tableFile
+	for _, name := range names {
+		t, terr := openTable(filepath.Join(dir, name), node, suite, nil)
+		if terr != nil {
+			continue // unverifiable file: ignore, do not trust, do not delete
+		}
+		cands = append(cands, t)
+	}
+	chain := assembleTableChain(cands)
+	used := make(map[*tableFile]bool, len(chain))
+	for _, t := range chain {
+		used[t] = true
+	}
+	for _, t := range cands {
+		if !used[t] {
+			_ = t.close()
+		}
+	}
+	return chain, nil, nil
+}
+
+// verifyTableChain checks contiguity and hash linkage across a table run.
+func verifyTableChain(tables []*tableFile) error {
+	for i := 1; i < len(tables); i++ {
+		prev, cur := tables[i-1], tables[i]
+		if cur.base != prev.end()+1 {
+			return fmt.Errorf("seclog: tables %d..%d and %d..%d are not contiguous", prev.base, prev.end(), cur.base, cur.end())
+		}
+		if !bytes.Equal(cur.baseHash, prev.headHash()) {
+			return fmt.Errorf("seclog: %w between tables at %d", ErrChainMismatch, cur.base)
+		}
+	}
+	return nil
+}
+
+// assembleTableChain picks, from verified candidate tables, a chain that is
+// contiguous and hash-linked, preferring at each step the table that extends
+// furthest (a folded table beats the fragments it replaced). The chain ends
+// at the highest reachable sequence.
+func assembleTableChain(cands []*tableFile) []*tableFile {
+	var best []*tableFile
+	bestEnd := uint64(0)
+	for _, start := range cands {
+		chain := []*tableFile{start}
+		cur := start
+		for {
+			var next *tableFile
+			for _, c := range cands {
+				if c.base == cur.end()+1 && bytes.Equal(c.baseHash, cur.headHash()) {
+					if next == nil || c.end() > next.end() {
+						next = c
+					}
+				}
+			}
+			if next == nil {
+				break
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		if cur.end() > bestEnd || best == nil {
+			best = chain
+			bestEnd = cur.end()
+		}
+	}
+	return best
+}
+
+// rotateTail rewrites the tail file to start at base, keeping only the
+// records at the given offsets of the old image (already verified) — used by
+// Open to finish a seal that crashed between the manifest swap and the
+// rotation.
+func (s *Store) rotateTail(base uint64, baseHash []byte, oldImage []byte, offsets []int64) error {
+	var records []byte
+	if len(offsets) > 0 {
+		records = oldImage[offsets[0]:]
+	}
+	f, headerLen, err := writeTailFile(s.path, s.node, base, baseHash, records, true)
+	if err != nil {
+		return err
+	}
+	old := s.f
+	s.f = f
+	_ = old.Close()
+	s.base = base
+	s.baseHash = append([]byte(nil), baseHash...)
+	s.headerLen = headerLen
+	rebased := make([]int64, 0, len(offsets))
+	if len(offsets) > 0 {
+		delta := offsets[0] - headerLen
+		for _, off := range offsets {
+			rebased = append(rebased, off-delta)
+		}
+	}
+	s.offsets = rebased
+	s.size = headerLen + int64(len(records))
+	s.flushed = s.size
+	return nil
+}
+
+// prevOfTail returns the chain hash preceding the (post-recovery) tail base.
+func prevOfTail(tables []*tableFile) []byte {
+	if len(tables) == 0 {
+		return nil
+	}
+	return tables[len(tables)-1].headHash()
 }

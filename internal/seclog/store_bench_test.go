@@ -1,10 +1,12 @@
 package seclog
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // benchAppend measures the store append path under a given write-buffer
@@ -48,4 +50,80 @@ func BenchmarkStoreAppend(b *testing.B) {
 	b.Run("unbuffered/sync=4096", func(b *testing.B) { benchAppend(b, 0, 4096) })
 	b.Run("buffered/sync=256", func(b *testing.B) { benchAppend(b, storeBufLimit, 256) })
 	b.Run("unbuffered/sync=256", func(b *testing.B) { benchAppend(b, 0, 256) })
+}
+
+// benchColdStore builds a store-backed log whose entries are all sealed
+// into tables, with a tiny resident window so every read is cold.
+func benchColdStore(b *testing.B, n int) *Log {
+	b.Helper()
+	dir := b.TempDir()
+	key, err := cryptoutil.PooledKey(testSuite, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := NewStored(dir, "bench", testSuite, key, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		l.Append(insEntry(types.Time(i+1), "k", int64(i)))
+	}
+	// Seal everything appended so far into one table.
+	if !l.SetStoreTuning(1, 1<<20) {
+		b.Fatal("not store-backed")
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	l.SetStoreTuning(1<<30, 1<<20)
+	if l.StoreTables() == 0 {
+		b.Fatal("nothing sealed")
+	}
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+// BenchmarkStoreColdRead compares the mmap'd cold-read path (Entry decoding
+// straight out of the mapped table region) against the pread-per-entry
+// behavior the store had before tables: one positioned read syscall plus a
+// decode for every cold entry.
+func BenchmarkStoreColdRead(b *testing.B) {
+	const n = 4096
+	b.Run("mmap", func(b *testing.B) {
+		l := benchColdStore(b, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq := uint64(i%n) + 1
+			if _, err := l.Entry(seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pread", func(b *testing.B) {
+		l := benchColdStore(b, n)
+		tbl := l.store.tables[0]
+		f, err := os.Open(tbl.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 1<<12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq := uint64(i%n) + 1
+			off, ln := tbl.offs[seq-tbl.base], tbl.lens[seq-tbl.base]
+			if int(ln) > len(buf) {
+				buf = make([]byte, ln)
+			}
+			if _, err := f.ReadAt(buf[:ln], off); err != nil {
+				b.Fatal(err)
+			}
+			e := new(Entry)
+			if err := wire.Decode(buf[:ln], e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -29,6 +29,12 @@ const (
 	// the two halves of the store's split write, leaving a genuinely torn
 	// record on disk for recovery to truncate.
 	ModeTorn = "torn"
+	// ModeCompact forces the store into seal-per-sync at the trigger append
+	// and SIGKILLs on the compactor goroutine once the resulting fold has
+	// written its replacement table but not yet committed the manifest swap
+	// — the widest window a compaction crash has, with both old and new
+	// tables on disk and only the manifest deciding which are real.
+	ModeCompact = "compact"
 )
 
 // CrashRule schedules one process death: when node's log head reaches the

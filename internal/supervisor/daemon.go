@@ -59,13 +59,7 @@ func installCrashRule(n *core.Node, rule *CrashRule) error {
 	}
 	trigger := rule.AtAppend
 	armed := false
-	hooks := seclog.StoreHooks{
-		MidFlush: func() {
-			if armed {
-				die()
-			}
-		},
-	}
+	var hooks seclog.StoreHooks
 	// One append before the trigger, sync: the death then always happens
 	// with a synced sidecar on disk (the state recovery must preserve) and
 	// an unsynced tail at risk (the state recovery must cope with losing).
@@ -83,6 +77,11 @@ func installCrashRule(n *core.Node, rule *CrashRule) error {
 			}
 		}
 	case ModeTorn:
+		hooks.MidFlush = func() {
+			if armed {
+				die()
+			}
+		}
 		hooks.AfterAppend = func(seq uint64) {
 			syncBefore(seq)
 			if seq < trigger || armed {
@@ -93,6 +92,28 @@ func installCrashRule(n *core.Node, rule *CrashRule) error {
 			// this very record torn on disk.
 			armed = true
 			_ = n.Log.Flush()
+		}
+	case ModeCompact:
+		hooks.MidCompact = func() {
+			if armed {
+				die()
+			}
+		}
+		hooks.AfterAppend = func(seq uint64) {
+			syncBefore(seq)
+			if seq < trigger {
+				return
+			}
+			if !armed {
+				// From the trigger on, every synced append seals into its
+				// own table (seal limit 1 byte) and a second sealed table
+				// starts a fold (fold threshold 1): the death then lands on
+				// the compactor goroutine, after the folded replacement
+				// table is durable but before the manifest swap commits it.
+				armed = true
+				n.Log.SetStoreTuning(1, 1)
+			}
+			_ = n.Log.Sync()
 		}
 	default:
 		return fmt.Errorf("supervisor: unknown crash mode %q", rule.Mode)
