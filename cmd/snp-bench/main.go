@@ -32,7 +32,7 @@ func main() {
 	// binary as the child image; such a child never reaches the flag parser.
 	supervisor.MaybeChild()
 
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario, 'qps' the sustained query-throughput scenario (concurrent audit scopes, cold vs warm audit cache), 'adversary' the Byzantine detection-guarantee scenarios, 'livetcp' the loopback-TCP fault-plan detection-latency scenario, and 'multiproc' the multi-process supervised-crash-recovery scenario on their own (not part of 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, batching, or all; 'retention' runs the store-backed long-retention scenario, 'qps' the sustained query-throughput scenario (concurrent audit scopes, cold vs warm audit cache), 'qps-live' its over-the-wire counterpart (remote clients through the query frontend), 'adversary' the Byzantine detection-guarantee scenarios, 'livetcp' the loopback-TCP fault-plan detection-latency scenario, and 'multiproc' the multi-process supervised-crash-recovery scenario on their own (not part of 'all')")
 	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized: 15 min, 15k updates, 250 nodes)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	simWorkers := flag.Int("sim-workers", 0, "parallel event shards for the simulation driver (0/1 = serial reference, -1 = GOMAXPROCS); every deterministic series is bit-identical across values")
@@ -209,6 +209,32 @@ func main() {
 		}
 		for _, r := range rows {
 			fmt.Println(" ", r)
+		}
+		return
+	}
+
+	if *fig == "qps-live" {
+		// The over-the-wire variant: the same cold/warm contrast, but the
+		// deployment runs over loopback TCP and every query travels through
+		// the query frontend — admission queue, session pool, framed RPCs —
+		// so the rows measure what a remote analyst actually experiences.
+		dir, err := os.MkdirTemp("", "snp-qps-live-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== Query throughput over the wire: remote clients through the query frontend ==")
+		rows, stats, err := livetcp.QPSLive(*seed, *qpsWorkers, *qpsQueries, dir)
+		// Remove before any Fatal: log.Fatal skips deferred cleanup.
+		os.RemoveAll(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		fmt.Println("  front:", stats)
+		if stats.Shed != 0 {
+			log.Fatalf("frontend shed %d queries with a session per client", stats.Shed)
 		}
 		return
 	}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	snp-forensics -scenario eclipse|badgadget|squirrel|suppress
+//	snp-forensics -connect 127.0.0.1:7070    # audit a live deployment
+//	                                         # through its query frontend
 package main
 
 import (
@@ -17,13 +19,19 @@ import (
 	"repro/internal/apps/mincost"
 	"repro/internal/core"
 	"repro/internal/provgraph"
+	"repro/internal/queryfront"
 	"repro/internal/simnet"
 	"repro/internal/types"
 )
 
 func main() {
 	scenario := flag.String("scenario", "suppress", "eclipse | badgadget | squirrel | suppress")
+	connect := flag.String("connect", "", "audit a live deployment through the query frontend at this address instead of running a canned scenario")
 	flag.Parse()
+	if *connect != "" {
+		remote(*connect)
+		return
+	}
 	switch *scenario {
 	case "suppress":
 		suppress()
@@ -35,6 +43,38 @@ func main() {
 		delegate("examples/mapreduce-squirrel")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
+	}
+}
+
+// remote investigates a live deployment over the wire: a full audit
+// through its query frontend, reported in the §4.2 evidence tiers.
+func remote(addr string) {
+	cl, err := queryfront.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Printf("Auditing the deployment behind %s…\n", addr)
+	v, err := cl.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if strong := v.StrongNodes(); len(strong) > 0 {
+		fmt.Printf("provably faulty: %v\n", strong)
+		for _, f := range v.Failures {
+			fmt.Printf("  %s@%d: %s\n", f.Node, f.Seq, f.Reason)
+		}
+		for _, id := range v.RedHosts {
+			fmt.Printf("  RED: %s\n", id)
+		}
+	} else {
+		fmt.Println("no provable evidence of misbehavior")
+	}
+	for _, l := range v.Unreachable {
+		fmt.Printf("  lead (unreachable, not evidence): %s: %s\n", l.Node, l.Err)
+	}
+	if st, err := cl.Stats(); err == nil {
+		fmt.Println("frontend:", st)
 	}
 }
 

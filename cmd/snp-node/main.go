@@ -42,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "supervise mode: deployment seed (keys, backoff jitter)")
 	tickMs := flag.Int("tick-ms", 0, "supervise mode: per-node tick period in ms (0 = daemon default)")
 	syncEvery := flag.Int("sync-every", 0, "supervise mode: ticks between durable log syncs (0 = daemon default)")
+	queryFront := flag.String("queryfront", "", "supervise mode: also host a query frontend on this listen address (e.g. 127.0.0.1:7070); snp-query and snp-forensics -connect dial it")
 	flag.Parse()
 
 	switch {
@@ -54,7 +55,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *app != "":
-		if err := supervise(*app, *dir, *seed, *tickMs, *syncEvery); err != nil {
+		if err := supervise(*app, *dir, *seed, *tickMs, *syncEvery, *queryFront); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -64,7 +65,7 @@ func main() {
 	}
 }
 
-func supervise(app, dir string, seed int64, tickMs, syncEvery int) error {
+func supervise(app, dir string, seed int64, tickMs, syncEvery int, queryFront string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "snp-node-*")
@@ -74,11 +75,12 @@ func supervise(app, dir string, seed int64, tickMs, syncEvery int) error {
 		fmt.Println("deployment root:", dir)
 	}
 	sup, err := supervisor.New(supervisor.Options{
-		Dir:       dir,
-		Seed:      seed,
-		App:       app,
-		TickMs:    tickMs,
-		SyncEvery: syncEvery,
+		Dir:        dir,
+		Seed:       seed,
+		App:        app,
+		TickMs:     tickMs,
+		SyncEvery:  syncEvery,
+		QueryFront: queryFront,
 	})
 	if err != nil {
 		return err
@@ -96,6 +98,9 @@ func supervise(app, dir string, seed int64, tickMs, syncEvery int) error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		fmt.Printf("%-8s %s\n", id, addrs[types.NodeID(id)])
+	}
+	if front := sup.Front(); front != nil {
+		fmt.Printf("%-8s %s\n", "queryfront", front.Addr())
 	}
 
 	if err := sup.WaitHealthy(30 * time.Second); err != nil {

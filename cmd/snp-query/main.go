@@ -1,0 +1,195 @@
+// snp-query is the query-frontend binary: the daemon side serves
+// provenance queries over framed TCP against a running deployment, and the
+// client side submits them.
+//
+// Serve mode attaches a frontend to deployment daemons started elsewhere
+// (snp-node processes, or anything speaking the node RPC protocol). The
+// frontend needs no key material of its own: it re-derives the
+// deployment's directory from the seed, exactly as the daemons do.
+//
+//	snp-query -serve -addr 127.0.0.1:7070 -app mincost -seed 1 \
+//	          -nodes "b=127.0.0.1:9001,c=127.0.0.1:9002,d=127.0.0.1:9003" \
+//	          -cache /tmp/snp-qf
+//
+// Client mode audits through a frontend (this binary's serve mode, or the
+// one `snp-node -app ... -queryfront` hosts) and prints the verdict in the
+// §4.2 tiers: provable evidence, then unreachable leads.
+//
+//	snp-query -connect 127.0.0.1:7070 -audit             # whole deployment
+//	snp-query -connect 127.0.0.1:7070 -audit -targets b  # named targets
+//	snp-query -connect 127.0.0.1:7070 -stats             # frontend counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/queryfront"
+	"repro/internal/supervisor"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run a query frontend (needs -addr, -app, -nodes)")
+	addr := flag.String("addr", "127.0.0.1:7070", "serve: listen address for query clients")
+	app := flag.String("app", "", "serve: deployment workload ("+strings.Join(supervisor.AppNames(), ", ")+")")
+	seed := flag.Int64("seed", 1, "serve: deployment seed (directory key derivation must match the daemons)")
+	nodes := flag.String("nodes", "", "serve: comma-separated id=host:port pairs for the deployment's daemons")
+	tpropMs := flag.Int("tprop-ms", 0, "serve: deployment propagation bound in ms (0 = daemon default; must match)")
+	cacheDir := flag.String("cache", "", "serve: persist the shared audit cache under this directory (empty: in-memory only)")
+	sessions := flag.Int("sessions", 0, "serve: querier-session pool size (0 = default)")
+	queueLen := flag.Int("queue", 0, "serve: admission-queue length (0 = default 4x sessions)")
+
+	connect := flag.String("connect", "", "client: frontend address to dial")
+	audit := flag.Bool("audit", false, "client: run an audit query")
+	targets := flag.String("targets", "", "client: comma-separated audit targets (empty: the whole deployment)")
+	stats := flag.Bool("stats", false, "client: print the frontend's FrontStats")
+	flag.Parse()
+
+	switch {
+	case *serve:
+		if err := runServe(*addr, *app, *nodes, *seed, *tpropMs, *cacheDir, *sessions, *queueLen); err != nil {
+			log.Fatal(err)
+		}
+	case *connect != "":
+		if err := runClient(*connect, *targets, *audit, *stats); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "snp-query: need -serve (daemon mode) or -connect (client mode)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runServe(addr, appName, nodes string, seed int64, tpropMs int, cacheDir string, sessions, queueLen int) error {
+	if nodes == "" {
+		return fmt.Errorf("snp-query: -serve needs -nodes (id=host:port,...)")
+	}
+	app, err := supervisor.AppByName(appName)
+	if err != nil {
+		return err
+	}
+	addrs := make(map[types.NodeID]string)
+	for _, pair := range strings.Split(nodes, ",") {
+		id, hostport, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || hostport == "" {
+			return fmt.Errorf("snp-query: malformed -nodes entry %q (want id=host:port)", pair)
+		}
+		addrs[types.NodeID(id)] = hostport
+	}
+
+	cluster := transport.NewCluster()
+	defer cluster.Close()
+	for id, a := range addrs {
+		cluster.AddPeer(id, a)
+	}
+
+	// The directory and protocol parameters must mirror the daemons'
+	// (supervisor.RunDaemon): key i belongs to the i-th node of the app's
+	// canonical node list, regardless of which subset -nodes lists.
+	cfg := core.DefaultConfig()
+	cfg.Tprop = types.Time(supervisor.NodeConfig{TpropMs: tpropMs}.Tprop())
+	cfg.DeltaClock = cfg.Tprop / 2
+	cfg.CheckpointEvery = 0
+	dir := core.NewDirectory()
+	for i, id := range app.Nodes {
+		key, keyErr := cryptoutil.PooledKey(cfg.Suite, seed*1000+int64(100+i))
+		if keyErr != nil {
+			return keyErr
+		}
+		dir.Register(id, key.Public())
+	}
+	if cacheDir != "" {
+		cache, cacheErr := core.OpenAuditCache(cacheDir, cfg.Suite)
+		if cacheErr != nil {
+			return cacheErr
+		}
+		defer cache.Close()
+		cfg.AuditCache = cache
+	}
+
+	front, err := queryfront.Serve(queryfront.Config{
+		Cluster: cluster, Base: cfg, Dir: dir,
+		Factory: app.Factory, ConfigureQuerier: app.ConfigureQuerier,
+		Sessions: sessions, QueueLen: queueLen,
+	}, addr)
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+	fmt.Printf("serving %s queries on %s (%d peers)\n", app.Name, front.Addr(), len(addrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	s := <-sig
+	fmt.Printf("%v: draining\n", s)
+	fmt.Println("final:", front.Stats())
+	return nil
+}
+
+func runClient(addr, targets string, doAudit, doStats bool) error {
+	cl, err := queryfront.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	if doAudit {
+		var ids []types.NodeID
+		for _, t := range strings.Split(targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				ids = append(ids, types.NodeID(t))
+			}
+		}
+		v, err := cl.Audit(ids...)
+		if err != nil {
+			return err
+		}
+		printVerdict(v)
+	}
+	if doStats {
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Println(st)
+	}
+	return nil
+}
+
+// printVerdict renders an audit verdict in the paper's evidence tiers.
+func printVerdict(v *queryfront.AuditResult) {
+	fmt.Printf("audit finished in %v\n", v.Elapsed)
+	if strong := v.StrongNodes(); len(strong) > 0 {
+		fmt.Printf("PROVABLY FAULTY: %v\n", strong)
+		for _, f := range v.Failures {
+			fmt.Printf("  %s@%d: %s\n", f.Node, f.Seq, f.Reason)
+		}
+		for _, id := range v.RedHosts {
+			fmt.Printf("  %s: red provenance vertex\n", id)
+		}
+	} else {
+		fmt.Println("no provable evidence of misbehavior")
+	}
+	if len(v.Unreachable) > 0 {
+		leads := append([]queryfront.Lead(nil), v.Unreachable...)
+		sort.Slice(leads, func(i, j int) bool { return leads[i].Node < leads[j].Node })
+		fmt.Println("unreachable (unattributable leads, not evidence):")
+		for _, l := range leads {
+			fmt.Printf("  %s: %s\n", l.Node, l.Err)
+		}
+	}
+	if len(v.Notes) > 0 {
+		fmt.Printf("missing-ack notes in scope: %d\n", len(v.Notes))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/quantile"
 	"repro/internal/types"
 )
 
@@ -137,14 +138,10 @@ func QueryThroughput(o Options, workers, queries int, dir string) ([]QPSRow, err
 			return QPSRow{}, firstErr
 		}
 		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		p99 := queries * 99 / 100
-		if p99 >= queries {
-			p99 = queries - 1
-		}
 		return QPSRow{
 			Label: label, Workers: workers, Queries: queries, Elapsed: elapsed,
 			QPS: float64(queries) / elapsed.Seconds(),
-			P50: durs[queries/2], P99: durs[p99],
+			P50: quantile.SortedDuration(durs, 50), P99: quantile.SortedDuration(durs, 99),
 			Hits: cache.Hits() - h0, Misses: cache.Misses() - m0,
 		}, nil
 	}

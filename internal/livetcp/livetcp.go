@@ -136,6 +136,10 @@ func New(app App, opts Options) (*Harness, error) {
 		keys:    make(map[types.NodeID]cryptoutil.PrivateKey),
 		nodes:   make(map[types.NodeID]*core.Node),
 	}
+	// All in-process nodes share one maintainer; exporting it over the
+	// notes RPC lets out-of-process auditors (the query frontend) merge
+	// the §5.4 missing-ack shield before scoring evidence.
+	h.Cluster.SetMaintainer(h.Maint)
 	for i, id := range app.Nodes {
 		key, err := cryptoutil.PooledKey(cfg.Suite, opts.Seed*1000+int64(100+i))
 		if err != nil {

@@ -1,0 +1,71 @@
+package quantile
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNearestRankSmallCounts pins the small-N cases the old index formulas
+// (len/2 for p50, len*99/100 for p99) got wrong. With two samples the old
+// p50 was durs[1] — the max; nearest-rank says the median of {10, 20} is
+// 10. This test fails against the old formulas and passes against
+// nearest-rank.
+func TestNearestRankSmallCounts(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+	two := []time.Duration{ms(10), ms(20)}
+	if got := Duration(two, 50); got != ms(10) {
+		t.Errorf("p50 of {10ms, 20ms} = %v, want 10ms (old formula returned the max)", got)
+	}
+	if got := Duration(two, 99); got != ms(20) {
+		t.Errorf("p99 of {10ms, 20ms} = %v, want 20ms", got)
+	}
+
+	one := []time.Duration{ms(7)}
+	if got := Duration(one, 50); got != ms(7) {
+		t.Errorf("p50 of a single sample = %v, want 7ms", got)
+	}
+	if got := Duration(one, 99); got != ms(7) {
+		t.Errorf("p99 of a single sample = %v, want 7ms", got)
+	}
+
+	if got := Duration(nil, 50); got != 0 {
+		t.Errorf("p50 of no samples = %v, want 0", got)
+	}
+
+	// Odd count: the median must be the middle element.
+	five := []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)} // unsorted on purpose
+	if got := Duration(five, 50); got != ms(3) {
+		t.Errorf("p50 of 1..5ms = %v, want 3ms", got)
+	}
+	if five[0] != ms(5) {
+		t.Error("Duration modified its input slice")
+	}
+
+	// N=100: p99 is the 99th value, not the 100th.
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = ms(i + 1)
+	}
+	if got := Duration(hundred, 99); got != ms(99) {
+		t.Errorf("p99 of 1..100ms = %v, want 99ms", got)
+	}
+	if got := Duration(hundred, 50); got != ms(50) {
+		t.Errorf("p50 of 1..100ms = %v, want 50ms", got)
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	if Rank(0, 50) != 0 {
+		t.Error("Rank(0, 50) != 0")
+	}
+	if Rank(10, 0) != 0 {
+		t.Error("Rank(10, 0) should clamp to the first sample")
+	}
+	if Rank(10, 100) != 9 {
+		t.Error("Rank(10, 100) should be the last sample")
+	}
+	if Rank(10, 200) != 9 {
+		t.Error("Rank(10, 200) should clamp to the last sample")
+	}
+}

@@ -1,0 +1,193 @@
+package queryfront
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ErrOverloaded is wrapped into errors for queries the frontend shed at
+// admission (queue full). Callers can back off and retry; the shed is
+// counted in FrontStats.
+var ErrOverloaded = errors.New("queryfront: overloaded")
+
+// Client is a query-frontend client: one connection, calls serialized.
+// For concurrent queries, open one Client per caller goroutine — the
+// frontend's session pool provides the server-side concurrency. A Client
+// redials transparently after a broken connection.
+type Client struct {
+	// CallTimeout bounds one call's write+read on the wire (default 30s;
+	// it should exceed the server's QueryTimeout so deadline verdicts
+	// arrive in-band instead of as client-side timeouts).
+	CallTimeout time.Duration
+	// MaxFrame bounds response frames (default the transport default).
+	MaxFrame int
+	// ID names the client on the wire (default "snp-query").
+	ID string
+
+	addr string
+
+	mu    sync.Mutex
+	conn  net.Conn
+	reqID uint64
+}
+
+// Dial connects to a frontend at addr. The initial connection is eager so
+// a bad address fails here, not on the first query.
+func Dial(addr string) (*Client, error) {
+	c := &Client{
+		CallTimeout: 30 * time.Second,
+		MaxFrame:    transport.DefaultMaxFrame,
+		ID:          "snp-query",
+		addr:        addr,
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// Close closes the connection. The client is unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addr = ""
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Explain submits one provenance macroquery and returns the explanation.
+func (c *Client) Explain(req ExplainRequest) (*ExplainResult, error) {
+	res := new(ExplainResult)
+	err := c.call(FrameExplainReq, FrameExplainResp,
+		req.MarshalWire,
+		func(r *wire.Reader) error {
+			if err := res.UnmarshalWire(r); err != nil {
+				return err
+			}
+			return r.Finish()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Audit audits the named targets (the whole deployment when none) and
+// returns the verdict tiers.
+func (c *Client) Audit(targets ...types.NodeID) (*AuditResult, error) {
+	req := AuditRequest{Targets: targets}
+	res := new(AuditResult)
+	err := c.call(FrameAuditReq, FrameAuditResp,
+		req.MarshalWire,
+		func(r *wire.Reader) error {
+			if err := res.UnmarshalWire(r); err != nil {
+				return err
+			}
+			return r.Finish()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats fetches the frontend's counter snapshot.
+func (c *Client) Stats() (*FrontStats, error) {
+	res := new(FrontStats)
+	err := c.call(FrameStatsReq, FrameStatsResp, nil,
+		func(r *wire.Reader) error {
+			if err := res.UnmarshalWire(r); err != nil {
+				return err
+			}
+			return r.Finish()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// call performs one request/response exchange. Transport failures close
+// the connection (the next call redials); frontend-reported errors are
+// returned as-is, with sheds wrapped in ErrOverloaded.
+func (c *Client) call(reqKind, respKind byte, body func(*wire.Writer), parse func(*wire.Reader) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if c.addr == "" {
+			return errors.New("queryfront: client closed")
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+	}
+	c.reqID++
+	reqID := c.reqID
+	w := wire.NewWriter(256)
+	w.Raw([]byte{0, 0, 0, 0})
+	w.String(c.ID)
+	w.Byte(reqKind)
+	w.Uint(reqID)
+	if body != nil {
+		body(w)
+	}
+	buf, err := transport.FinishFrame(w, c.MaxFrame)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	c.conn.SetDeadline(time.Now().Add(c.CallTimeout))
+	if _, err := c.conn.Write(buf); err != nil {
+		return fail(err)
+	}
+	for {
+		payload, err := transport.ReadFrame(c.conn, c.MaxFrame)
+		if err != nil {
+			return fail(err)
+		}
+		_, kind, r, err := transport.BeginFrame(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if kind != respKind {
+			return fail(fmt.Errorf("queryfront: unexpected response kind %d", kind))
+		}
+		if r.Uint() != reqID {
+			continue // stale answer from an abandoned call on this conn
+		}
+		if !r.Bool() {
+			msg := r.String()
+			if err := r.Err(); err != nil {
+				return fail(err)
+			}
+			if strings.HasPrefix(msg, "overloaded:") {
+				return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+			}
+			return fmt.Errorf("queryfront: %s", msg)
+		}
+		if err := parse(r); err != nil {
+			return fail(err)
+		}
+		return nil
+	}
+}

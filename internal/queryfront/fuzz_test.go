@@ -1,0 +1,116 @@
+package queryfront
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// fuzzFrame assembles a query frame the way the client does.
+func fuzzFrame(from string, kind byte, body func(*wire.Writer)) []byte {
+	w := wire.NewWriter(256)
+	w.Raw([]byte{0, 0, 0, 0})
+	w.String(from)
+	w.Byte(kind)
+	w.Uint(1) // reqID
+	if body != nil {
+		body(w)
+	}
+	buf, err := transport.FinishFrame(w, transport.DefaultMaxFrame)
+	if err != nil {
+		panic(err)
+	}
+	return buf[4:] // decodeRequest takes the payload, past the length prefix
+}
+
+// FuzzQueryFrameDecode feeds arbitrary bytes to the query-frame decoder
+// and the response-body decoders. Every byte is adversary-controlled (any
+// client can connect to the frontend, and a hostile frontend can answer a
+// client): decoding must return checked errors — never panic, and never
+// let a hostile count drive an allocation unbounded by the input size.
+func FuzzQueryFrameDecode(f *testing.F) {
+	explain := ExplainRequest{
+		Node:  "as10",
+		Tuple: types.MakeTuple("route", types.N("as10"), types.N("as51"), types.I(2)),
+		Mode:  1, Direction: 1, At: 5, Scope: 8, SkipConsistency: true, StartHint: 3,
+	}
+	f.Add(fuzzFrame("c", FrameExplainReq, explain.MarshalWire))
+	audit := AuditRequest{Targets: []types.NodeID{"as10", "as20", "as30"}}
+	f.Add(fuzzFrame("c", FrameAuditReq, audit.MarshalWire))
+	f.Add(fuzzFrame("c", FrameStatsReq, nil))
+
+	// Response bodies, so mutations explore the client-side decoders too.
+	res := ExplainResult{
+		Rendered: "tree", Vertices: 3,
+		Faulty:      []types.NodeID{"as30"},
+		Unreachable: []Lead{{Node: "as20", Err: "partitioned"}},
+		Elapsed:     time.Millisecond,
+	}
+	f.Add(fuzzFrame("front", FrameExplainResp, res.MarshalWire))
+	ares := AuditResult{
+		Failures:    []FailureInfo{{Node: "as30", Seq: 7, Reason: "replay mismatch"}},
+		RedHosts:    []types.NodeID{"as30"},
+		Unreachable: []Lead{{Node: "as20", Err: "partitioned"}},
+		Notes:       []NoteInfo{{Reporter: "as10", Src: "as10", Dst: "as20", Seq: 4}},
+		Elapsed:     time.Second,
+	}
+	f.Add(fuzzFrame("front", FrameAuditResp, ares.MarshalWire))
+	stats := FrontStats{Sessions: 4, QueueCap: 16, Served: 9, Shed: 2,
+		Kinds: []KindStats{{Kind: "audit", Count: 9, P50: time.Millisecond, P99: time.Second}}}
+	f.Add(fuzzFrame("front", FrameStatsResp, stats.MarshalWire))
+
+	// Hostile counts: an audit request claiming 2^32 targets in 16 bytes,
+	// and truncated bodies.
+	hostile := wire.NewWriter(64)
+	hostile.Raw([]byte{0, 0, 0, 0})
+	hostile.String("c")
+	hostile.Byte(FrameAuditReq)
+	hostile.Uint(1)
+	hostile.Uint(1 << 32)
+	hb, err := transport.FinishFrame(hostile, transport.DefaultMaxFrame)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hb[4:])
+	f.Add(fuzzFrame("c", FrameExplainReq, nil)) // truncated: no body at all
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// The server path: request decoding. Errors are checked rejections.
+		if req, err := decodeRequest(payload); err == nil && req != nil {
+			// Whatever decodes must re-encode (the bench and CLI round-trip
+			// requests through the client encoder).
+			switch {
+			case req.explain != nil:
+				w := wire.NewWriter(64)
+				req.explain.MarshalWire(w)
+			case req.audit != nil:
+				if len(req.audit.Targets) > maxTargets {
+					t.Fatalf("decoded %d targets past the bound", len(req.audit.Targets))
+				}
+			}
+		}
+		// The client path: response-body decoding from the same bytes.
+		_, _, r, err := transport.BeginFrame(payload)
+		if err != nil {
+			return
+		}
+		r.Uint() // reqID
+		if !r.Bool() {
+			_ = r.String()
+			return
+		}
+		rest := r.Raw(r.Remaining())
+		if r.Err() != nil {
+			return
+		}
+		var er ExplainResult
+		_ = er.UnmarshalWire(wire.NewReader(rest))
+		var ar AuditResult
+		_ = ar.UnmarshalWire(wire.NewReader(rest))
+		var fs FrontStats
+		_ = fs.UnmarshalWire(wire.NewReader(rest))
+	})
+}

@@ -1,0 +1,415 @@
+// Query-frontend wire protocol: the frame kinds and request/response
+// bodies carried over the transport's framing (length prefix, sender ID,
+// kind byte, body). Kinds 0x20–0x2F are reserved for this protocol; the
+// node RPC range stops at 0x19. Every decoder treats its input as hostile:
+// counts are bounded against the remaining input via wire.Reader.Count,
+// and malformed frames surface as checked errors, never panics.
+package queryfront
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Query frame kinds (responses are request+1, like the node RPCs).
+const (
+	FrameExplainReq  byte = 0x20
+	FrameExplainResp byte = 0x21
+	FrameAuditReq    byte = 0x22
+	FrameAuditResp   byte = 0x23
+	FrameStatsReq    byte = 0x24
+	FrameStatsResp   byte = 0x25
+)
+
+// maxTargets bounds how many audit targets one request may name; anything
+// larger than a plausible deployment is rejected before any work.
+const maxTargets = 1 << 16
+
+// ExplainRequest is one provenance macroquery: explain tuple on node
+// under the given query options (§5.1's modes, direction, and scope).
+type ExplainRequest struct {
+	Node            types.NodeID
+	Tuple           types.Tuple
+	Mode            core.QueryMode
+	Direction       core.Direction
+	At              types.Time
+	Scope           int
+	SkipConsistency bool
+	StartHint       types.Time
+}
+
+// MarshalWire implements wire.Marshaler.
+func (q ExplainRequest) MarshalWire(w *wire.Writer) {
+	w.String(string(q.Node))
+	q.Tuple.MarshalWire(w)
+	w.Byte(byte(q.Mode))
+	w.Byte(byte(q.Direction))
+	w.Int(int64(q.At))
+	w.Uint(uint64(q.Scope))
+	w.Bool(q.SkipConsistency)
+	w.Int(int64(q.StartHint))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (q *ExplainRequest) UnmarshalWire(r *wire.Reader) error {
+	q.Node = types.NodeID(r.String())
+	if err := q.Tuple.UnmarshalWire(r); err != nil {
+		return err
+	}
+	q.Mode = core.QueryMode(r.Byte())
+	q.Direction = core.Direction(r.Byte())
+	q.At = types.Time(r.Int())
+	q.Scope = int(r.Uint())
+	q.SkipConsistency = r.Bool()
+	q.StartHint = types.Time(r.Int())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if q.Mode > core.ModeDisappear {
+		return fmt.Errorf("queryfront: unknown query mode %d", q.Mode)
+	}
+	if q.Direction > core.Effects {
+		return fmt.Errorf("queryfront: unknown direction %d", q.Direction)
+	}
+	if q.Scope < 0 || q.Scope > maxTargets {
+		return fmt.Errorf("queryfront: implausible scope %d", q.Scope)
+	}
+	return nil
+}
+
+// Opts converts the wire form back into core query options.
+func (q ExplainRequest) Opts() core.QueryOpts {
+	return core.QueryOpts{
+		Mode: q.Mode, Direction: q.Direction, At: q.At, Scope: q.Scope,
+		SkipConsistency: q.SkipConsistency, StartHint: q.StartHint,
+	}
+}
+
+// AuditRequest asks the frontend to audit the named targets (all
+// registered nodes when empty) and return the verdict tiers.
+type AuditRequest struct {
+	Targets []types.NodeID
+}
+
+// MarshalWire implements wire.Marshaler.
+func (q AuditRequest) MarshalWire(w *wire.Writer) {
+	w.Uint(uint64(len(q.Targets)))
+	for _, id := range q.Targets {
+		w.String(string(id))
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (q *AuditRequest) UnmarshalWire(r *wire.Reader) error {
+	n := r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n > maxTargets {
+		return fmt.Errorf("queryfront: %d audit targets exceeds the bound", n)
+	}
+	q.Targets = make([]types.NodeID, n)
+	for i := range q.Targets {
+		q.Targets[i] = types.NodeID(r.String())
+	}
+	return r.Err()
+}
+
+// Lead is one unreachable node with the error that made it a yellow,
+// unattributable lead (§4.2's "unavailable" tier — never an accusation).
+type Lead struct {
+	Node types.NodeID
+	Err  string
+}
+
+// ExplainResult is the answer to an ExplainRequest: the rendered
+// explanation tree, the provably faulty nodes it implicates, and the
+// unreachable-leads set the query accumulated.
+type ExplainResult struct {
+	// Rendered is the formatted explanation tree (Explanation.Format).
+	Rendered string
+	// Vertices counts the answer's explanation vertices.
+	Vertices int
+	// Faulty are nodes hosting red vertices in the answer — provable
+	// evidence, guaranteed to implicate only compromised nodes.
+	Faulty []types.NodeID
+	// Unreachable are the §4.2 unattributable leads, sorted by node.
+	Unreachable []Lead
+	// Elapsed is the server-side service time, admission queue included.
+	Elapsed time.Duration
+}
+
+// MarshalWire implements wire.Marshaler.
+func (q ExplainResult) MarshalWire(w *wire.Writer) {
+	w.String(q.Rendered)
+	w.Uint(uint64(q.Vertices))
+	w.Uint(uint64(len(q.Faulty)))
+	for _, id := range q.Faulty {
+		w.String(string(id))
+	}
+	w.Uint(uint64(len(q.Unreachable)))
+	for _, l := range q.Unreachable {
+		w.String(string(l.Node))
+		w.String(l.Err)
+	}
+	w.Int(int64(q.Elapsed))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (q *ExplainResult) UnmarshalWire(r *wire.Reader) error {
+	q.Rendered = r.String()
+	q.Vertices = int(r.Uint())
+	n := r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.Faulty = make([]types.NodeID, n)
+	for i := range q.Faulty {
+		q.Faulty[i] = types.NodeID(r.String())
+	}
+	n = r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.Unreachable = make([]Lead, n)
+	for i := range q.Unreachable {
+		q.Unreachable[i].Node = types.NodeID(r.String())
+		q.Unreachable[i].Err = r.String()
+	}
+	q.Elapsed = time.Duration(r.Int())
+	return r.Err()
+}
+
+// FailureInfo is one provable audit finding (core.Failure in wire form).
+type FailureInfo struct {
+	Node   types.NodeID
+	Seq    uint64
+	Reason string
+}
+
+// NoteInfo is one §5.4 missing-ack report (core.MissingAckNote in wire
+// form): Reporter observed that its send Src→Dst at Seq was never acked.
+type NoteInfo struct {
+	Reporter types.NodeID
+	Src      types.NodeID
+	Dst      types.NodeID
+	Seq      uint64
+}
+
+// AuditResult is the answer to an AuditRequest, separated into the
+// paper's evidence tiers.
+type AuditResult struct {
+	// Failures and RedHosts are the provable tier (§5.5).
+	Failures []FailureInfo
+	RedHosts []types.NodeID
+	// Unreachable are the unattributable leads, sorted by node.
+	Unreachable []Lead
+	// Notes are the merged §5.4 missing-ack reports.
+	Notes []NoteInfo
+	// Elapsed is the server-side service time, admission queue included.
+	Elapsed time.Duration
+}
+
+// StrongNodes returns the nodes implicated by provable evidence, sorted.
+func (q *AuditResult) StrongNodes() []types.NodeID {
+	seen := map[types.NodeID]bool{}
+	for _, f := range q.Failures {
+		seen[f.Node] = true
+	}
+	for _, h := range q.RedHosts {
+		seen[h] = true
+	}
+	out := make([]types.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sortNodes(out)
+	return out
+}
+
+// UnreachableNodes returns just the lead node IDs, sorted.
+func (q *AuditResult) UnreachableNodes() []types.NodeID {
+	out := make([]types.NodeID, 0, len(q.Unreachable))
+	for _, l := range q.Unreachable {
+		out = append(out, l.Node)
+	}
+	sortNodes(out)
+	return out
+}
+
+// MarshalWire implements wire.Marshaler.
+func (q AuditResult) MarshalWire(w *wire.Writer) {
+	w.Uint(uint64(len(q.Failures)))
+	for _, f := range q.Failures {
+		w.String(string(f.Node))
+		w.Uint(f.Seq)
+		w.String(f.Reason)
+	}
+	w.Uint(uint64(len(q.RedHosts)))
+	for _, id := range q.RedHosts {
+		w.String(string(id))
+	}
+	w.Uint(uint64(len(q.Unreachable)))
+	for _, l := range q.Unreachable {
+		w.String(string(l.Node))
+		w.String(l.Err)
+	}
+	w.Uint(uint64(len(q.Notes)))
+	for _, n := range q.Notes {
+		w.String(string(n.Reporter))
+		w.String(string(n.Src))
+		w.String(string(n.Dst))
+		w.Uint(n.Seq)
+	}
+	w.Int(int64(q.Elapsed))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (q *AuditResult) UnmarshalWire(r *wire.Reader) error {
+	n := r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.Failures = make([]FailureInfo, n)
+	for i := range q.Failures {
+		q.Failures[i].Node = types.NodeID(r.String())
+		q.Failures[i].Seq = r.Uint()
+		q.Failures[i].Reason = r.String()
+	}
+	n = r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.RedHosts = make([]types.NodeID, n)
+	for i := range q.RedHosts {
+		q.RedHosts[i] = types.NodeID(r.String())
+	}
+	n = r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.Unreachable = make([]Lead, n)
+	for i := range q.Unreachable {
+		q.Unreachable[i].Node = types.NodeID(r.String())
+		q.Unreachable[i].Err = r.String()
+	}
+	n = r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	q.Notes = make([]NoteInfo, n)
+	for i := range q.Notes {
+		q.Notes[i].Reporter = types.NodeID(r.String())
+		q.Notes[i].Src = types.NodeID(r.String())
+		q.Notes[i].Dst = types.NodeID(r.String())
+		q.Notes[i].Seq = r.Uint()
+	}
+	q.Elapsed = time.Duration(r.Int())
+	return r.Err()
+}
+
+// KindStats is the latency digest for one query kind ("explain" or
+// "audit"): how many were served and the nearest-rank p50/p99 over the
+// most recent samples.
+type KindStats struct {
+	Kind  string
+	Count uint64
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// FrontStats is the frontend's counter snapshot: pool shape, admission
+// outcomes (mirroring the transport's drop-and-count semantics), audit
+// cache effectiveness, and per-kind latency digests.
+type FrontStats struct {
+	Sessions int
+	QueueCap int
+	// Served counts queries answered (including ones whose audit found
+	// evidence — that is an answer, not a failure). Shed counts queries
+	// rejected at admission because the queue was full; Expired counts
+	// queries whose deadline passed while queued (dropped unexecuted);
+	// Failed counts queries that ran but errored.
+	Served  uint64
+	Shed    uint64
+	Expired uint64
+	Failed  uint64
+	// CacheHits/CacheMisses are the shared audit cache's counter deltas
+	// since the frontend started (0/0 when it runs without a cache).
+	CacheHits   uint64
+	CacheMisses uint64
+	// Kinds holds per-query-kind latency digests, sorted by kind.
+	Kinds []KindStats
+}
+
+// HitRatio returns the audit-cache hit ratio in [0, 1] (0 when the cache
+// was never consulted).
+func (s FrontStats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+func (s FrontStats) String() string {
+	out := fmt.Sprintf("sessions=%d queue=%d served=%d shed=%d expired=%d failed=%d cache=%.0f%% (%d/%d)",
+		s.Sessions, s.QueueCap, s.Served, s.Shed, s.Expired, s.Failed,
+		100*s.HitRatio(), s.CacheHits, s.CacheHits+s.CacheMisses)
+	for _, k := range s.Kinds {
+		out += fmt.Sprintf(" %s{n=%d p50=%v p99=%v}", k.Kind, k.Count,
+			k.P50.Round(10*time.Microsecond), k.P99.Round(10*time.Microsecond))
+	}
+	return out
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s FrontStats) MarshalWire(w *wire.Writer) {
+	w.Uint(uint64(s.Sessions))
+	w.Uint(uint64(s.QueueCap))
+	w.Uint(s.Served)
+	w.Uint(s.Shed)
+	w.Uint(s.Expired)
+	w.Uint(s.Failed)
+	w.Uint(s.CacheHits)
+	w.Uint(s.CacheMisses)
+	w.Uint(uint64(len(s.Kinds)))
+	for _, k := range s.Kinds {
+		w.String(k.Kind)
+		w.Uint(k.Count)
+		w.Int(int64(k.P50))
+		w.Int(int64(k.P99))
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *FrontStats) UnmarshalWire(r *wire.Reader) error {
+	s.Sessions = int(r.Uint())
+	s.QueueCap = int(r.Uint())
+	s.Served = r.Uint()
+	s.Shed = r.Uint()
+	s.Expired = r.Uint()
+	s.Failed = r.Uint()
+	s.CacheHits = r.Uint()
+	s.CacheMisses = r.Uint()
+	n := r.Count() // adversary-controlled; bounded against input size
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.Kinds = make([]KindStats, n)
+	for i := range s.Kinds {
+		s.Kinds[i].Kind = r.String()
+		s.Kinds[i].Count = r.Uint()
+		s.Kinds[i].P50 = time.Duration(r.Int())
+		s.Kinds[i].P99 = time.Duration(r.Int())
+	}
+	return r.Err()
+}
+
+func sortNodes(ids []types.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

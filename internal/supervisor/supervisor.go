@@ -14,6 +14,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/queryfront"
 	"repro/internal/seclog"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -64,6 +67,15 @@ type Options struct {
 	// live-but-unresponsive child is killed and restarted (default 40).
 	ProbeEvery     time.Duration
 	ProbeFailLimit int
+	// QueryFront, when non-empty, hosts a query frontend on this listen
+	// address over the supervisor's probe cluster, so remote analysts can
+	// audit the deployment without their own key material: the frontend
+	// derives the directory from Seed exactly as the children do, and its
+	// sessions share a persistent audit cache under Dir/qfcache.
+	QueryFront string
+	// QueryFrontSessions bounds the frontend's querier pool
+	// (0: queryfront's default).
+	QueryFrontSessions int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,8 +133,10 @@ type Supervisor struct {
 	log   *log.Logger
 	logF  *os.File
 
-	probe *transport.Cluster
-	fetch *transport.RemoteFetcher
+	probe      *transport.Cluster
+	fetch      *transport.RemoteFetcher
+	front      *queryfront.Server
+	frontCache *core.AuditCache
 
 	mu       sync.Mutex
 	children map[types.NodeID]*child
@@ -176,6 +190,45 @@ func (s *Supervisor) Addrs() map[types.NodeID]string {
 // the children.
 func (s *Supervisor) Cluster() *transport.Cluster { return s.probe }
 
+// Front returns the hosted query frontend, or nil unless
+// Options.QueryFront asked for one.
+func (s *Supervisor) Front() *queryfront.Server { return s.front }
+
+// startFront builds the audit-side state the frontend needs — the same
+// key derivation the children use, so both sides agree on the directory —
+// and serves it on the configured address over the probe cluster.
+func (s *Supervisor) startFront() error {
+	cfg := core.DefaultConfig()
+	cfg.Tprop = types.Time(NodeConfig{TpropMs: s.opts.TpropMs}.Tprop())
+	cfg.DeltaClock = cfg.Tprop / 2
+	cfg.CheckpointEvery = 0
+	dir := core.NewDirectory()
+	for i, id := range s.app.Nodes {
+		key, err := cryptoutil.PooledKey(cfg.Suite, s.opts.Seed*1000+int64(100+i))
+		if err != nil {
+			return err
+		}
+		dir.Register(id, key.Public())
+	}
+	cache, err := core.OpenAuditCache(filepath.Join(s.opts.Dir, "qfcache"), cfg.Suite)
+	if err != nil {
+		return err
+	}
+	cfg.AuditCache = cache
+	front, err := queryfront.Serve(queryfront.Config{
+		Cluster: s.probe, Base: cfg, Dir: dir,
+		Factory: s.app.Factory, ConfigureQuerier: s.app.ConfigureQuerier,
+		Sessions: s.opts.QueryFrontSessions,
+	}, s.opts.QueryFront)
+	if err != nil {
+		_ = cache.Close()
+		return err
+	}
+	s.front, s.frontCache = front, cache
+	s.log.Printf("query frontend on %s", front.Addr())
+	return nil
+}
+
 // Start allocates one port per node, spawns every child, and begins health
 // monitoring.
 func (s *Supervisor) Start() error {
@@ -208,6 +261,12 @@ func (s *Supervisor) Start() error {
 	s.fetch = s.probe.NewFetcher("supervisor")
 	s.fetch.CallTimeout = 200 * time.Millisecond
 	s.fetch.RetryDeadline = 250 * time.Millisecond
+
+	if s.opts.QueryFront != "" {
+		if err := s.startFront(); err != nil {
+			return err
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -551,6 +610,14 @@ func (s *Supervisor) Stop(timeout time.Duration) error {
 				<-d
 			}
 		}
+	}
+	// The frontend's session fetchers live on the probe cluster: close it
+	// (and then the cache it was writing) before the cluster goes away.
+	if s.front != nil {
+		s.front.Close()
+	}
+	if s.frontCache != nil {
+		_ = s.frontCache.Close()
 	}
 	if s.fetch != nil {
 		close(s.stopMon)

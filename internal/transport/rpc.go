@@ -9,6 +9,7 @@ package transport
 // unattributable lead, never a provable accusation.
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -23,7 +24,9 @@ import (
 	"repro/internal/wire"
 )
 
-// Audit frame kinds (disjoint from the data-plane kinds).
+// Audit frame kinds (disjoint from the data-plane kinds). The range
+// 0x20–0x2F is reserved for the query frontend (internal/queryfront),
+// which speaks the same framing on its own listener.
 const (
 	frameRetrieveReq  byte = 0x10
 	frameRetrieveResp byte = 0x11
@@ -142,6 +145,18 @@ func (e *remoteError) Error() string {
 	return fmt.Sprintf("transport: %s: %s", e.node, e.msg)
 }
 
+// ErrFetcherClosed is returned by calls made on (or racing with) a closed
+// RemoteFetcher. It is final: the caller tore the fetcher down, so
+// retrying cannot succeed.
+var ErrFetcherClosed = errors.New("transport: fetcher closed")
+
+// minRetryBackoff floors the retry backoff. Without it a zero/unset
+// RetryBase (a Cluster whose config was zeroed rather than built via
+// NewClusterWith) turns the retry loop into a hot spin: jitter(0) is 0
+// and backoff *= 2 keeps it at 0, so the loop hammers dial until the
+// deadline.
+const minRetryBackoff = 2 * time.Millisecond
+
 // RemoteFetcher implements core.Fetcher over the wire: every audit call
 // dials (or reuses) a connection to the target node and performs one
 // request/response exchange under a per-attempt timeout, retrying with
@@ -164,16 +179,37 @@ type RemoteFetcher struct {
 	c  *Cluster
 	id types.NodeID
 
-	mu    sync.Mutex
-	conns map[types.NodeID]*rconn
-	rng   *rand.Rand
-	reqID uint64
+	mu     sync.Mutex
+	conns  map[types.NodeID]*rconn
+	rng    *rand.Rand
+	reqID  uint64
+	closed bool
 }
 
-// rconn serializes the request/response exchanges against one target.
+// rconn serializes the request/response exchanges against one target. mu
+// orders whole exchanges; connMu guards just the conn pointer, which
+// Close mutates from outside the exchange lock.
 type rconn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	connMu sync.Mutex
+	conn   net.Conn
+}
+
+func (rc *rconn) get() net.Conn {
+	rc.connMu.Lock()
+	defer rc.connMu.Unlock()
+	return rc.conn
+}
+
+// closeConn closes and clears the conn if present. Both Close and a
+// failing attempt funnel through here, so a conn is closed exactly once.
+func (rc *rconn) closeConn() {
+	rc.connMu.Lock()
+	if rc.conn != nil {
+		rc.conn.Close()
+		rc.conn = nil
+	}
+	rc.connMu.Unlock()
 }
 
 // NewFetcher builds a remote fetcher that audits this cluster's peers over
@@ -193,28 +229,37 @@ func (c *Cluster) NewFetcher(id types.NodeID) *RemoteFetcher {
 	}
 }
 
-// Close drops the fetcher's connections. In-flight calls fail with read
-// errors and are not retried past their deadlines.
+// Close fails in-flight calls and drops the fetcher's connections. The
+// pinned semantics: an in-flight exchange fails with a read/write error
+// and is not retried (the retry loop then sees ErrFetcherClosed), later
+// calls fail fast with ErrFetcherClosed, no connection is closed twice,
+// and no connection leaks (an attempt whose dial races Close tears its
+// own conn down). Close is idempotent and safe against concurrent calls.
 func (f *RemoteFetcher) Close() {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.closed = true
+	conns := make([]*rconn, 0, len(f.conns))
 	for _, rc := range f.conns {
-		if rc.conn != nil {
-			rc.conn.Close()
-		}
+		conns = append(conns, rc)
 	}
-	f.conns = make(map[types.NodeID]*rconn)
+	f.mu.Unlock()
+	for _, rc := range conns {
+		rc.closeConn()
+	}
 }
 
-func (f *RemoteFetcher) rconnFor(node types.NodeID) *rconn {
+func (f *RemoteFetcher) rconnFor(node types.NodeID) (*rconn, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrFetcherClosed
+	}
 	rc, ok := f.conns[node]
 	if !ok {
 		rc = &rconn{}
 		f.conns[node] = rc
 	}
-	return rc
+	return rc, nil
 }
 
 func (f *RemoteFetcher) nextReqID() uint64 {
@@ -235,19 +280,31 @@ func (f *RemoteFetcher) call(node types.NodeID, reqKind, respKind byte,
 	body func(w *wire.Writer), parse func(r *wire.Reader) error) error {
 	deadline := time.Now().Add(f.RetryDeadline)
 	backoff := f.c.cfg.RetryBase
+	if backoff < minRetryBackoff {
+		backoff = minRetryBackoff
+	}
+	retryMax := f.c.cfg.RetryMax
+	if retryMax <= 0 {
+		// An unset cap must not pin the backoff at its floor; grow toward
+		// the stock cap so a dead peer costs O(log) attempts, not O(n).
+		retryMax = DefaultConfig().RetryMax
+	}
+	if retryMax < backoff {
+		retryMax = backoff
+	}
 	var lastErr error
 	for {
 		err := f.attempt(node, reqKind, respKind, body, parse)
 		if err == nil {
 			return nil
 		}
-		if _, final := err.(*remoteError); final {
+		if _, final := err.(*remoteError); final || errors.Is(err, ErrFetcherClosed) {
 			return err
 		}
 		lastErr = err
 		wait := f.jitter(backoff)
-		if backoff *= 2; backoff > f.c.cfg.RetryMax {
-			backoff = f.c.cfg.RetryMax
+		if backoff *= 2; backoff > retryMax {
+			backoff = retryMax
 		}
 		if time.Now().Add(wait).After(deadline) {
 			return fmt.Errorf("transport: %s unreachable within retry deadline: %w", node, lastErr)
@@ -259,21 +316,38 @@ func (f *RemoteFetcher) call(node types.NodeID, reqKind, respKind byte,
 // attempt performs one request/response exchange under CallTimeout.
 func (f *RemoteFetcher) attempt(node types.NodeID, reqKind, respKind byte,
 	body func(w *wire.Writer), parse func(r *wire.Reader) error) error {
-	rc := f.rconnFor(node)
+	rc, err := f.rconnFor(node)
+	if err != nil {
+		return err
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	if rc.conn == nil {
+	conn := rc.get()
+	if conn == nil {
 		f.c.mu.Lock()
 		addr, ok := f.c.addrs[node]
 		f.c.mu.Unlock()
 		if !ok {
 			return &remoteError{node: node, msg: "unknown peer"}
 		}
-		conn, err := f.c.cfg.Fault.Dial(f.id, node, addr, f.c.cfg.DialTimeout)
+		conn, err = f.c.cfg.Fault.Dial(f.id, node, addr, f.c.cfg.DialTimeout)
 		if err != nil {
 			return err
 		}
+		// Publish under f.mu so the dial cannot slip past a concurrent
+		// Close: Close sets closed before snapshotting the rconns, so
+		// either we observe closed here and tear the fresh conn down
+		// ourselves, or Close observes the conn and closes it.
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			return ErrFetcherClosed
+		}
+		rc.connMu.Lock()
 		rc.conn = conn
+		rc.connMu.Unlock()
+		f.mu.Unlock()
 	}
 	reqID := f.nextReqID()
 	w := wire.NewWriter(256)
@@ -289,16 +363,15 @@ func (f *RemoteFetcher) attempt(node types.NodeID, reqKind, respKind byte,
 		return &remoteError{node: node, msg: err.Error()}
 	}
 	fail := func(err error) error {
-		rc.conn.Close()
-		rc.conn = nil
+		rc.closeConn()
 		return err
 	}
-	rc.conn.SetDeadline(time.Now().Add(f.CallTimeout))
-	if _, err := rc.conn.Write(buf); err != nil {
+	conn.SetDeadline(time.Now().Add(f.CallTimeout))
+	if _, err := conn.Write(buf); err != nil {
 		return fail(err)
 	}
 	for {
-		payload, err := readFrame(rc.conn, f.c.cfg.MaxFrame)
+		payload, err := readFrame(conn, f.c.cfg.MaxFrame)
 		if err != nil {
 			return fail(err)
 		}

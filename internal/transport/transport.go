@@ -695,6 +695,30 @@ func beginFrame(payload []byte) (types.NodeID, byte, *wire.Reader, error) {
 	return from, kind, r, nil
 }
 
+// The framing is shared with sibling daemons that listen on their own
+// sockets but speak the same wire format (the query frontend in
+// internal/queryfront). The exported trio below is that seam: a frame is
+// a 4-byte big-endian length prefix (bounded by MaxFrame), the sender's
+// node ID string, a one-byte kind, then the kind-specific body.
+
+// ReadFrame reads one length-prefixed frame payload from r, rejecting
+// hostile lengths beyond maxFrame before any allocation.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	return readFrame(r, maxFrame)
+}
+
+// BeginFrame parses a frame payload's common prefix and returns the wire
+// reader positioned at the kind-specific body.
+func BeginFrame(payload []byte) (types.NodeID, byte, *wire.Reader, error) {
+	return beginFrame(payload)
+}
+
+// FinishFrame patches the length prefix a caller reserved with
+// w.Raw([]byte{0,0,0,0}) and enforces the frame bound outbound.
+func FinishFrame(w *wire.Writer, maxFrame int) ([]byte, error) {
+	return finishFrame(w, maxFrame)
+}
+
 // decodePacketBody decodes a data frame's body into a core.Packet.
 func decodePacketBody(kind byte, r *wire.Reader) (*core.Packet, error) {
 	pkt := &core.Packet{Kind: core.PacketKind(kind)}
